@@ -1,0 +1,49 @@
+// Figure 2 reproduction: latency and throughput of continual 1 KB writes
+// over parallel persistent TCP connections (1/25/50/75/100), single
+// server core.
+//
+// Series: "Net. + persist." (raw copy+flush app) vs "Net. + data mgmt. +
+// persist." (NoveLSM-like store) — the paper's two — plus the projection
+// series for the proposed packet-metadata store (DESIGN.md P2).
+#include <cstdio>
+
+#include "app/harness.h"
+
+using namespace papm;
+using namespace papm::app;
+
+int main() {
+  std::printf(
+      "=== Figure 2: 1KB writes over parallel persistent TCP connections "
+      "===\n");
+  std::printf(
+      "(paper: data mgmt reduces throughput by 9-28%% and increases latency "
+      "by 11-42%%)\n\n");
+  std::printf(
+      "conns | raw: lat[us]  p99[us] tput[kreq/s] | lsm: lat[us]  p99[us] "
+      "tput[kreq/s] | pkt: lat[us] tput[kreq/s] | lsm-vs-raw lat+%% tput-%%\n");
+
+  for (const int conns : {1, 25, 50, 75, 100}) {
+    RunConfig cfg;
+    cfg.connections = conns;
+    cfg.warmup_ns = 10 * kNsPerMs;
+    cfg.measure_ns = 60 * kNsPerMs;
+    cfg.keyspace = 4096;
+
+    cfg.backend = Backend::raw_persist;
+    const auto raw = run_experiment(cfg);
+    cfg.backend = Backend::lsm;
+    const auto lsm = run_experiment(cfg);
+    cfg.backend = Backend::pktstore;
+    const auto pkt = run_experiment(cfg);
+
+    std::printf(
+        "%5d | %12.1f %8.1f %12.1f | %12.1f %8.1f %12.1f | %11.1f %12.1f | "
+        "%9.1f%% %6.1f%%\n",
+        conns, raw.mean_rtt_us(), raw.p99_rtt_us(), raw.kreq_per_s,
+        lsm.mean_rtt_us(), lsm.p99_rtt_us(), lsm.kreq_per_s, pkt.mean_rtt_us(),
+        pkt.kreq_per_s, (lsm.rtt.mean() / raw.rtt.mean() - 1.0) * 100.0,
+        (1.0 - lsm.kreq_per_s / raw.kreq_per_s) * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation A3 (§5.1 crash consistency): post-crash recovery time and
+// correctness, for the packet-metadata store and the LSM baseline, as a
+// function of resident keys.
+//
+// Recovery work is real: pool reattach, skip-list tower rebuild from
+// level 0, chain validation and data-reference restoration. Reported
+// times are simulated (cost-model) nanoseconds of that work.
+#include <cstdio>
+
+#include "core/pktstore.h"
+#include "storage/lsm_store.h"
+
+using namespace papm;
+
+namespace {
+
+constexpr u64 kDevSize = 512u << 20;
+
+double recover_pktstore(std::size_t keys, sim::Env& env) {
+  pm::PmDevice dev(env, kDevSize);
+  auto pool = pm::PmPool::create(dev, "pkts", dev.data_base(), kDevSize - 4096);
+  pool.set_charges(env.cost.pool_alloc_ns, env.cost.pool_alloc_ns / 2);
+  net::PmArena arena(dev, pool);
+  net::PktBufPool pktpool(env, arena);
+  auto store = core::PktStore::create(pktpool, "store");
+
+  std::vector<u8> value(1024, 0xab);
+  for (std::size_t i = 0; i < keys; i++) {
+    if (!store.put_bytes("key" + std::to_string(i), value).ok()) return -1;
+  }
+  dev.crash();
+
+  const SimTime t0 = env.now();
+  auto pool2 = pm::PmPool::recover(dev, "pkts");
+  net::PmArena arena2(dev, pool2.value());
+  net::PktBufPool pktpool2(env, arena2);
+  auto rec = core::PktStore::recover(pktpool2, "store");
+  const SimTime elapsed = env.now() - t0;
+  if (!rec.ok() || rec->size() != keys) return -1;
+  // Spot-check integrity.
+  if (keys > 0 && !rec->verify("key0").ok()) return -1;
+  return static_cast<double>(elapsed);
+}
+
+double recover_lsm(std::size_t keys, sim::Env& env) {
+  pm::PmDevice dev(env, kDevSize);
+  auto pool = pm::PmPool::create(dev, "db", dev.data_base(), kDevSize - 4096);
+  auto store = storage::LsmStore::create(dev, pool, "store");
+
+  std::vector<u8> value(1024, 0xcd);
+  for (std::size_t i = 0; i < keys; i++) {
+    if (!store.put("key" + std::to_string(i), value).ok()) return -1;
+  }
+  dev.crash();
+
+  const SimTime t0 = env.now();
+  auto pool2 = pm::PmPool::recover(dev, "db");
+  auto rec = storage::LsmStore::recover(dev, pool2.value(), "store");
+  const SimTime elapsed = env.now() - t0;
+  if (!rec.ok() || rec->entries() != keys) return -1;
+  if (keys > 0 && !rec->get("key0").ok()) return -1;
+  return static_cast<double>(elapsed);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== A3: crash-recovery time vs resident keys (1KB values) ===\n");
+  std::printf("%10s %16s %16s\n", "keys", "pktstore[us]", "lsm[us]");
+  for (const std::size_t keys : {1000u, 4000u, 16000u, 64000u}) {
+    sim::Env env_a, env_b;
+    const double a = recover_pktstore(keys, env_a);
+    const double b = recover_lsm(keys, env_b);
+    std::printf("%10zu %16.1f %16.1f\n", keys, a / 1000.0, b / 1000.0);
+  }
+  std::printf(
+      "\n(recovery rebuilds skip-list towers from level 0 and re-registers\n"
+      " packet-data references; it scales linearly with resident keys)\n");
+  return 0;
+}

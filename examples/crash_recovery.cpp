@@ -1,0 +1,85 @@
+// crash_recovery: the §5.1 crash-consistency story, demonstrated.
+//
+// Repeatedly crashes a loaded packet-metadata store at random points and
+// shows the invariant that makes it a storage system rather than a cache:
+// every acknowledged write is fully recovered, checksums verify, and the
+// allocator never corrupts (it may leak bounded space for in-flight
+// operations — the documented leak-not-corrupt policy).
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/pktstore.h"
+
+using namespace papm;
+
+int main() {
+  sim::Env env;
+  constexpr u64 kPm = 128u << 20;
+  pm::PmDevice dev(env, kPm);
+  auto pmpool = pm::PmPool::create(dev, "pkts", dev.data_base(), kPm - 4096);
+  pmpool.set_charges(env.cost.pool_alloc_ns, env.cost.pool_alloc_ns / 2);
+
+  std::map<std::string, u32> acked;  // key -> value seed
+  Rng rng(7);
+  u64 seq = 0;
+
+  auto make_value = [](u32 seed) {
+    Rng r(seed);
+    std::vector<u8> v(512 + r.next_below(1024));
+    for (auto& b : v) b = static_cast<u8>(r.next());
+    return v;
+  };
+
+  std::printf("crash/recover loop: 8 rounds of writes + power loss\n\n");
+  for (int round = 0; round < 8; round++) {
+    // (Re)open the store from the PM image.
+    auto pool_r = pm::PmPool::recover(dev, "pkts");
+    net::PmArena arena(dev, pool_r.value());
+    net::PktBufPool pktpool(env, arena);
+
+    core::PktStore store = [&] {
+      if (round == 0) return core::PktStore::create(pktpool, "db");
+      auto rec = core::PktStore::recover(pktpool, "db");
+      if (!rec.ok()) {
+        std::fprintf(stderr, "FATAL: recovery failed in round %d\n", round);
+        std::exit(1);
+      }
+      return std::move(rec.value());
+    }();
+
+    // Validate everything acknowledged before the last crash.
+    std::size_t verified = 0;
+    for (const auto& [key, seed] : acked) {
+      const auto got = store.get(key);
+      if (!got.ok() || got.value() != make_value(seed)) {
+        std::fprintf(stderr, "FATAL: lost or corrupted \"%s\"\n", key.c_str());
+        return 1;
+      }
+      verified++;
+    }
+
+    // A burst of writes and deletes.
+    const SimTime t0 = env.now();
+    for (int i = 0; i < 120; i++) {
+      const std::string key = "key" + std::to_string(rng.next_below(200));
+      if (!acked.empty() && rng.chance(0.2)) {
+        store.erase(key);
+        acked.erase(key);
+      } else {
+        const u32 seed = static_cast<u32>(++seq);
+        if (store.put_bytes(key, make_value(seed)).ok()) acked[key] = seed;
+      }
+    }
+    std::printf(
+        "round %d: recovered+verified %3zu keys, wrote burst in %6.1f us "
+        "(sim), pool in use: %5.1f KiB\n",
+        round, verified, static_cast<double>(env.now() - t0) / 1000.0,
+        static_cast<double>(pool_r->allocated_bytes()) / 1024.0);
+
+    dev.crash();  // power loss with the dirty lines still unflushed
+  }
+
+  std::printf("\nall rounds passed: no acknowledged write was ever lost.\n");
+  return 0;
+}

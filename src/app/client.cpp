@@ -1,0 +1,80 @@
+#include "app/client.h"
+
+namespace papm::app {
+
+WrkClient::WrkClient(Host& host, ClientConfig cfg)
+    : host_(host), cfg_(std::move(cfg)) {}
+
+std::vector<u8> WrkClient::value_for(u64 key_idx) const {
+  // Deterministic value per key so GETs can be validated cheaply.
+  Rng rng(cfg_.seed * 1315423911ULL + key_idx);
+  std::vector<u8> v(cfg_.value_size);
+  for (auto& b : v) b = static_cast<u8>(rng.next());
+  return v;
+}
+
+void WrkClient::start() {
+  for (int i = 0; i < cfg_.connections; i++) {
+    auto ctx = std::make_unique<ConnCtx>();
+    ctx->rng = Rng(cfg_.seed + static_cast<u64>(i) * 7919);
+    if (cfg_.zipf_theta > 0.0) {
+      ctx->zipf.emplace(cfg_.keyspace, cfg_.zipf_theta,
+                        cfg_.seed + static_cast<u64>(i) * 104729);
+    }
+    ConnCtx* raw = ctx.get();
+    conns_.push_back(std::move(ctx));
+    host_.env().engine.schedule_in(
+        static_cast<SimTime>(i) * cfg_.connect_stagger_ns, [this, raw] {
+          raw->conn = host_.stack().connect(cfg_.server_ip, cfg_.port);
+          raw->conn->on_established = [this, raw](net::TcpConn&) {
+            issue(*raw);
+          };
+          raw->conn->on_readable = [this, raw](net::TcpConn&) {
+            on_readable(*raw);
+          };
+        });
+  }
+}
+
+void WrkClient::issue(ConnCtx& ctx) {
+  if (stopped_ || ctx.conn == nullptr ||
+      ctx.conn->state() != net::TcpState::established) {
+    return;
+  }
+  auto& env = host_.env();
+  ctx.issued_at = env.now();
+  ctx.in_flight = true;
+
+  const u64 key_idx = ctx.zipf.has_value() ? ctx.zipf->next()
+                                           : ctx.rng.next_below(cfg_.keyspace);
+  const bool is_get = ctx.rng.next_double() < cfg_.get_ratio;
+
+  env.clock().advance(env.cost.scaled(env.cost.client_http_build_ns));
+  http::Request req;
+  req.method = is_get ? http::Method::get : http::Method::put;
+  req.target = "/kv/key" + std::to_string(key_idx);
+  if (!is_get) req.body = value_for(key_idx);
+  (void)ctx.conn->send(http::serialize(req));
+}
+
+void WrkClient::on_readable(ConnCtx& ctx) {
+  auto& env = host_.env();
+  std::vector<u8> buf(4096);
+  std::size_t n;
+  while ((n = ctx.conn->read(buf)) > 0) {
+    const auto resp = ctx.parser.feed(std::span<const u8>(buf.data(), n));
+    if (resp.has_value()) {
+      env.clock().advance(env.cost.scaled(env.cost.client_http_parse_ns));
+      if (resp->status >= 400) http_errors_++;
+      if (ctx.in_flight) {
+        rtt_.add(static_cast<double>(env.now() - ctx.issued_at));
+        completed_++;
+        ctx.in_flight = false;
+      }
+      issue(ctx);  // closed loop: next request immediately
+      return;      // one response per readable burst in practice
+    }
+  }
+}
+
+}  // namespace papm::app

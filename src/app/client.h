@@ -1,0 +1,78 @@
+// wrk-like closed-loop load generator (§3 methodology: "the client runs
+// the regular Linux stack and wrk as the application to issue storage
+// requests over one or more TCP connections and measure the end-to-end
+// latency").
+//
+// Each connection runs a closed loop: issue a request, wait for the full
+// response, record the application-level RTT, issue the next. Keys are
+// drawn uniformly from a key space; values are deterministic per key.
+#pragma once
+
+#include <memory>
+
+#include <optional>
+
+#include "app/host.h"
+#include "common/stats.h"
+#include "http/http.h"
+
+namespace papm::app {
+
+struct ClientConfig {
+  u32 server_ip = 0;
+  u16 port = 9000;
+  int connections = 1;
+  std::size_t value_size = 1024;
+  double get_ratio = 0.0;  // fraction of GETs (after a priming PUT per key)
+  u64 keyspace = 4096;
+  // Key popularity skew: 0 = uniform, else Zipfian theta (e.g. 0.99,
+  // the YCSB default) — hot keys exercise the update path.
+  double zipf_theta = 0.0;
+  u64 seed = 1;
+  // Stagger connection establishment to avoid a SYN burst at t=0.
+  SimTime connect_stagger_ns = 2 * kNsPerUs;
+};
+
+class WrkClient {
+ public:
+  WrkClient(Host& host, ClientConfig cfg);
+
+  // Opens the connections and starts issuing once each establishes.
+  void start();
+
+  // Stops issuing new requests (in-flight ones finish).
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] Stats& latencies() noexcept { return rtt_; }
+  [[nodiscard]] u64 completed() const noexcept { return completed_; }
+  [[nodiscard]] u64 http_errors() const noexcept { return http_errors_; }
+  void reset_stats() {
+    rtt_.clear();
+    completed_ = 0;
+    http_errors_ = 0;
+  }
+
+ private:
+  struct ConnCtx {
+    net::TcpConn* conn = nullptr;
+    http::ResponseParser parser;
+    SimTime issued_at = 0;
+    bool in_flight = false;
+    Rng rng{0};
+    std::optional<Zipf> zipf;
+  };
+
+  void issue(ConnCtx& ctx);
+  void on_readable(ConnCtx& ctx);
+  [[nodiscard]] std::vector<u8> value_for(u64 key_idx) const;
+
+  Host& host_;
+  ClientConfig cfg_;
+  std::vector<std::unique_ptr<ConnCtx>> conns_;
+  Stats rtt_;
+  u64 completed_ = 0;
+  u64 http_errors_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace papm::app

@@ -1,0 +1,75 @@
+#include "app/harness.h"
+
+namespace papm::app {
+
+namespace {
+constexpr u32 kClientIp = 0x0a000001;
+constexpr u32 kServerIp = 0x0a000002;
+}  // namespace
+
+RunResult run_experiment(const RunConfig& cfg) {
+  sim::Env env;
+  env.cost = cfg.cost;
+  env.rng = Rng(cfg.seed);
+
+  nic::Fabric fabric(env, cfg.fabric);
+
+  HostConfig server_cfg;
+  server_cfg.ip = kServerIp;
+  server_cfg.cores = cfg.server_cores;
+  server_cfg.busy_poll = true;
+  server_cfg.pm_backed = true;
+  server_cfg.nic = cfg.nic;
+  Host server_host(env, fabric, server_cfg);
+
+  HostConfig client_cfg;
+  client_cfg.ip = kClientIp;
+  client_cfg.cores = 0;  // the client machine is not the bottleneck
+  client_cfg.busy_poll = false;
+  client_cfg.nic = cfg.nic;
+  Host client_host(env, fabric, client_cfg);
+
+  ServerConfig scfg;
+  scfg.backend = cfg.backend;
+  scfg.knobs = cfg.knobs;
+  scfg.lsm_wal = cfg.lsm_wal;
+  scfg.pkt_opts = cfg.pkt_opts;
+  KvServer server(server_host, scfg);
+
+  ClientConfig ccfg;
+  ccfg.server_ip = kServerIp;
+  ccfg.connections = cfg.connections;
+  ccfg.value_size = cfg.value_size;
+  ccfg.get_ratio = cfg.get_ratio;
+  ccfg.keyspace = cfg.keyspace;
+  ccfg.zipf_theta = cfg.zipf_theta;
+  ccfg.seed = cfg.seed;
+  WrkClient client(client_host, ccfg);
+
+  client.start();
+  env.engine.run_until(cfg.warmup_ns);
+  client.reset_stats();
+  server.reset_stats();
+  const SimTime busy_before = server_host.cpu().busy_ns();
+
+  env.engine.run_until(cfg.warmup_ns + cfg.measure_ns);
+  client.stop();
+
+  RunResult r;
+  r.rtt = client.latencies();
+  r.ops = client.completed();
+  r.kreq_per_s = static_cast<double>(client.completed()) /
+                 (static_cast<double>(cfg.measure_ns) / 1e9) / 1000.0;
+  if (server.breakdown_ops() > 0) {
+    r.avg_breakdown = server.breakdown_sum();
+    r.avg_breakdown /= static_cast<SimTime>(server.breakdown_ops());
+  }
+  r.server_cpu_util =
+      static_cast<double>(server_host.cpu().busy_ns() - busy_before) /
+      static_cast<double>(cfg.measure_ns * std::max(1, cfg.server_cores));
+  r.server_errors = server.errors() + client.http_errors();
+  r.retransmits_hint = fabric.dropped();
+  return r;
+}
+
+}  // namespace papm::app

@@ -1,0 +1,58 @@
+// Experiment harness: builds the two-machine testbed of §3 (single-core
+// busy-polling PM server + multi-core client over a 25 GbE fabric), runs
+// a closed-loop workload and reports latency, throughput and the
+// per-operation breakdown. Every bench target (Table 1, Figure 2, the
+// ablations) is a thin loop over run_experiment().
+#pragma once
+
+#include "app/client.h"
+#include "app/server.h"
+#include "nic/fabric.h"
+
+namespace papm::app {
+
+struct RunConfig {
+  // Server.
+  Backend backend = Backend::lsm;
+  storage::StoreKnobs knobs;
+  bool lsm_wal = false;
+  core::PktStoreOptions pkt_opts;
+  int server_cores = 1;  // "the server uses only one CPU core"
+
+  // Workload.
+  int connections = 1;
+  std::size_t value_size = 1024;
+  double get_ratio = 0.0;
+  u64 keyspace = 4096;
+  double zipf_theta = 0.0;  // 0 = uniform keys
+
+  // Timing. Defaults keep a single run under a second of wall time while
+  // collecting thousands of samples.
+  SimTime warmup_ns = 20 * kNsPerMs;
+  SimTime measure_ns = 200 * kNsPerMs;
+
+  // Environment.
+  sim::CostModel cost;
+  nic::Fabric::Options fabric;
+  nic::Nic::Options nic;
+  u64 seed = 42;
+};
+
+struct RunResult {
+  Stats rtt;             // per-request RTT samples, ns
+  double kreq_per_s;     // completed requests per second (thousands)
+  u64 ops = 0;           // requests completed in the measurement window
+  storage::OpBreakdown avg_breakdown;  // server-side, per op
+  double server_cpu_util = 0.0;        // busy fraction of the server core
+  u64 server_errors = 0;
+  u64 retransmits_hint = 0;  // fabric drops (loss experiments)
+
+  [[nodiscard]] double mean_rtt_us() const { return rtt.mean() / 1000.0; }
+  [[nodiscard]] double p99_rtt_us() const {
+    return const_cast<Stats&>(rtt).percentile(99) / 1000.0;
+  }
+};
+
+RunResult run_experiment(const RunConfig& cfg);
+
+}  // namespace papm::app

@@ -1,0 +1,98 @@
+// A simulated machine: CPU cores, packet memory (DRAM or PM), NIC and
+// TCP stack, wired to a fabric.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "net/tcp.h"
+#include "net/udp.h"
+#include "nic/nic.h"
+#include "sim/cpu.h"
+
+namespace papm::app {
+
+struct HostConfig {
+  u32 ip = 0;
+  // Server: one busy-polling core (the paper's configuration). Client:
+  // cores = 0 models the multi-core client machine whose queueing the
+  // paper does not account to the server.
+  int cores = 1;
+  bool busy_poll = false;
+  // Packet buffers in PM (PASTE) vs DRAM.
+  bool pm_backed = false;
+  u64 pm_size = 512u << 20;
+  nic::Nic::Options nic;
+  u32 rcv_buf = 1 << 20;
+};
+
+class Host {
+ public:
+  Host(sim::Env& env, nic::Fabric& fabric, const HostConfig& cfg)
+      : env_(env), cpu_(env, cfg.cores) {
+    if (cfg.pm_backed) {
+      pm_dev_.emplace(env, cfg.pm_size);
+      pm_pool_.emplace(pm::PmPool::create(*pm_dev_, "pkts", pm_dev_->data_base(),
+                                          cfg.pm_size - 4096));
+      // Packet pools are freelists, not general allocators (§4.2).
+      pm_pool_->set_charges(env.cost.pool_alloc_ns, env.cost.pool_alloc_ns / 2);
+      pm_arena_.emplace(*pm_dev_, *pm_pool_);
+      arena_ = &*pm_arena_;
+    } else {
+      heap_arena_.emplace(env);
+      arena_ = &*heap_arena_;
+    }
+    pool_.emplace(env, *arena_);
+    nic_.emplace(env, fabric, cfg.ip, *pool_, cfg.nic);
+    net::TcpStack::Options so;
+    so.ip = cfg.ip;
+    so.busy_poll = cfg.busy_poll;
+    so.csum_offload_tx = cfg.nic.csum_offload_tx;
+    so.csum_offload_rx = cfg.nic.csum_offload_rx;
+    so.rcv_buf = cfg.rcv_buf;
+    stack_.emplace(env, *nic_, *pool_, so);
+    stack_->attach_cpu(cpu_);
+    net::UdpStack::Options uo;
+    uo.ip = cfg.ip;
+    uo.kernel_bypass = cfg.busy_poll;  // bypass hosts poll datagrams too
+    uo.csum_offload_tx = cfg.nic.csum_offload_tx;
+    uo.csum_offload_rx = cfg.nic.csum_offload_rx;
+    udp_.emplace(env, *nic_, *pool_, uo);
+    udp_->attach_cpu(cpu_);
+    nic_->set_sink([this](net::PktBuf* pb) {
+      if (pb->l4_proto == net::kIpProtoUdp) {
+        udp_->rx(pb);
+      } else {
+        stack_->rx(pb);
+      }
+    });
+  }
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] sim::Env& env() noexcept { return env_; }
+  [[nodiscard]] sim::HostCpu& cpu() noexcept { return cpu_; }
+  [[nodiscard]] net::PktBufPool& pool() noexcept { return *pool_; }
+  [[nodiscard]] net::TcpStack& stack() noexcept { return *stack_; }
+  [[nodiscard]] net::UdpStack& udp() noexcept { return *udp_; }
+  [[nodiscard]] nic::Nic& nic() noexcept { return *nic_; }
+  [[nodiscard]] bool pm_backed() const noexcept { return pm_dev_.has_value(); }
+  [[nodiscard]] pm::PmDevice& pm_device() { return *pm_dev_; }
+  [[nodiscard]] pm::PmPool& pm_pool() { return *pm_pool_; }
+
+ private:
+  sim::Env& env_;
+  sim::HostCpu cpu_;
+  std::optional<pm::PmDevice> pm_dev_;
+  std::optional<pm::PmPool> pm_pool_;
+  std::optional<net::PmArena> pm_arena_;
+  std::optional<net::HeapArena> heap_arena_;
+  net::BufArena* arena_ = nullptr;
+  std::optional<net::PktBufPool> pool_;
+  std::optional<nic::Nic> nic_;
+  std::optional<net::TcpStack> stack_;
+  std::optional<net::UdpStack> udp_;
+};
+
+}  // namespace papm::app

@@ -1,0 +1,368 @@
+#include "app/server.h"
+
+#include <charconv>
+#include <cstring>
+#include <stdexcept>
+
+namespace papm::app {
+
+namespace {
+
+// In-place request-head parse over the first segment's payload: no copy,
+// no allocation beyond the key string. Returns nullopt if the head is not
+// complete yet.
+struct Head {
+  http::Method method;
+  std::string_view key;  // target without the leading "/kv/"
+  std::size_t head_len;
+  std::size_t body_len;
+};
+
+std::optional<Head> parse_head_inplace(std::string_view payload) {
+  const std::size_t end = payload.find("\r\n\r\n");
+  if (end == std::string_view::npos) return std::nullopt;
+  Head h{};
+  h.head_len = end + 4;
+  h.body_len = 0;
+
+  const std::size_t line_end = payload.find("\r\n");
+  const std::size_t sp1 = payload.find(' ');
+  if (sp1 == std::string_view::npos || sp1 > line_end) return std::nullopt;
+  const std::size_t sp2 = payload.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 > line_end) return std::nullopt;
+  const std::string_view m = payload.substr(0, sp1);
+  if (m == "PUT" || m == "POST") {
+    h.method = http::Method::put;
+  } else if (m == "GET") {
+    h.method = http::Method::get;
+  } else if (m == "DELETE") {
+    h.method = http::Method::del;
+  } else {
+    h.method = http::Method::other;
+  }
+  std::string_view target = payload.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.starts_with("/kv/")) target.remove_prefix(4);
+  h.key = target;
+
+  // Content-Length, if present.
+  std::size_t pos = line_end + 2;
+  while (pos < end) {
+    std::size_t eol = payload.find("\r\n", pos);
+    if (eol == std::string_view::npos || eol > end) eol = end;
+    const std::string_view line = payload.substr(pos, eol - pos);
+    constexpr std::string_view kCl = "Content-Length:";
+    if (line.size() > kCl.size() &&
+        (line.starts_with(kCl) || line.starts_with("content-length:"))) {
+      std::string_view v = line.substr(kCl.size());
+      while (!v.empty() && v.front() == ' ') v.remove_prefix(1);
+      std::size_t n = 0;
+      std::from_chars(v.data(), v.data() + v.size(), n);
+      h.body_len = n;
+    }
+    pos = eol + 2;
+  }
+  return h;
+}
+
+}  // namespace
+
+KvServer::KvServer(Host& host, const ServerConfig& cfg)
+    : host_(host), cfg_(cfg) {
+  switch (cfg.backend) {
+    case Backend::discard:
+      break;
+    case Backend::raw_persist: {
+      auto r = host_.pm_pool().alloc(kRawRegion);
+      if (!r.ok()) throw std::runtime_error("KvServer: no PM for raw region");
+      raw_region_ = r.value();
+      break;
+    }
+    case Backend::lsm: {
+      // Carve a dedicated region for the store's own PM allocator, which
+      // charges general-allocator prices (Table 1 alloc+insert row) —
+      // unlike the packet pool's freelist prices.
+      constexpr u64 kStoreSpan = 192u << 20;
+      auto span = host_.pm_pool().alloc(kStoreSpan);
+      if (!span.ok()) throw std::runtime_error("KvServer: no PM for store");
+      store_pool_ = pm::PmPool::create(host_.pm_device(), "storepool",
+                                       align_up(span.value(), kCacheLine),
+                                       kStoreSpan - kCacheLine);
+      storage::LsmOptions o;
+      o.knobs = cfg.knobs;
+      o.use_wal = cfg.lsm_wal;
+      lsm_ = storage::LsmStore::create(host_.pm_device(), *store_pool_, "db", o);
+      break;
+    }
+    case Backend::pktstore:
+      pktstore_ = core::PktStore::create(host_.pool(), "store", cfg.pkt_opts);
+      break;
+  }
+  const Status st = host_.stack().listen(
+      cfg.port, [this](net::TcpConn& c) { on_accept(c); });
+  if (!st.ok()) throw std::runtime_error("KvServer: listen failed");
+}
+
+void KvServer::on_accept(net::TcpConn& conn) {
+  conns_[&conn] = ConnState{};
+  conn.on_readable = [this](net::TcpConn& c) { on_readable(c); };
+  conn.on_closed = [this](net::TcpConn& c) {
+    auto it = conns_.find(&c);
+    if (it != conns_.end()) {
+      for (auto* pb : it->second.pkts) host_.pool().free(pb);
+      conns_.erase(it);
+    }
+  };
+}
+
+bool KvServer::try_parse_head(ConnState& st) {
+  if (st.pkts.empty()) return false;
+  // Fast path: head within the first segment (always true for the
+  // paper's request sizes; requests are not pipelined).
+  const auto payload = host_.pool().payload(*st.pkts[0]);
+  const std::string_view view(reinterpret_cast<const char*>(payload.data()),
+                              payload.size());
+  auto& env = host_.env();
+  env.clock().advance(env.cost.scaled(env.cost.server_http_parse_ns));
+  const auto head = parse_head_inplace(view);
+  if (!head.has_value()) return false;
+  st.head_parsed = true;
+  st.method = head->method;
+  st.key = std::string(head->key);
+  st.head_len = head->head_len;
+  st.body_len = head->body_len;
+  return true;
+}
+
+void KvServer::on_readable(net::TcpConn& conn) {
+  auto it = conns_.find(&conn);
+  if (it == conns_.end()) return;
+  ConnState& st = it->second;
+
+  for (net::PktBuf* pb : conn.read_pkts()) {
+    st.have_bytes += pb->payload_len();
+    st.pkts.push_back(pb);
+  }
+  if (!st.head_parsed && !try_parse_head(st)) return;
+  if (st.have_bytes < st.head_len + st.body_len) return;  // body incomplete
+  dispatch(conn, st);
+}
+
+void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
+  auto& env = host_.env();
+  // Group-commit / cache-warmth regime: requests queued behind the core.
+  const bool batched = host_.cpu().backlogged();
+  if (lsm_.has_value()) lsm_->set_batched(batched);
+  if (pktstore_.has_value()) pktstore_->set_batched(batched);
+  storage::OpBreakdown bd;
+  storage::OpBreakdown* bdp = cfg_.collect_breakdown ? &bd : nullptr;
+  int status = 200;
+  std::vector<u8> resp_body;
+  bool zero_copy_response = false;
+
+  switch (cfg_.backend) {
+    case Backend::discard:
+      break;
+
+    case Backend::raw_persist: {
+      // The Fig. 2 "simple application that copies and persists data in
+      // the PM region": one copy + one flush, no structure.
+      if (st.method == http::Method::put) {
+        if (raw_off_ + st.body_len > kRawRegion) raw_off_ = 0;
+        auto& dev = host_.pm_device();
+        std::size_t skip = st.head_len;
+        u64 at = raw_region_ + raw_off_;
+        const SimTime t0 = env.now();
+        for (net::PktBuf* pb : st.pkts) {
+          const auto p = host_.pool().payload(*pb);
+          if (skip >= p.size()) {
+            skip -= p.size();
+            continue;
+          }
+          const auto chunk = p.subspan(skip);
+          skip = 0;
+          env.clock().advance(env.cost.copy_cost(chunk.size()));
+          dev.store(at, chunk);
+          at += chunk.size();
+        }
+        if (bdp != nullptr) bdp->copy_ns += env.now() - t0;
+        const SimTime t1 = env.now();
+        dev.persist(raw_region_ + raw_off_, st.body_len);
+        if (bdp != nullptr) bdp->persist_ns += env.now() - t1;
+        raw_off_ += align_up(st.body_len, kCacheLine);
+      }
+      break;
+    }
+
+    case Backend::lsm: {
+      if (st.method == http::Method::put) {
+        Status s = Errc::ok;
+        if (st.pkts.size() == 1) {
+          // Body contiguous inside the packet: hand the view straight to
+          // the store (its internal copy is the Table 1 copy row).
+          const auto p = host_.pool().payload(*st.pkts[0]);
+          s = lsm_->put(st.key, p.subspan(st.head_len, st.body_len), bdp);
+        } else {
+          std::vector<u8> body;
+          body.reserve(st.body_len);
+          std::size_t skip = st.head_len;
+          for (net::PktBuf* pb : st.pkts) {
+            const auto p = host_.pool().payload(*pb);
+            if (skip >= p.size()) {
+              skip -= p.size();
+              continue;
+            }
+            body.insert(body.end(), p.begin() + static_cast<long>(skip), p.end());
+            skip = 0;
+          }
+          body.resize(st.body_len);
+          s = lsm_->put(st.key, body, bdp);
+        }
+        if (!s.ok()) {
+          status = 507;
+          errors_++;
+        } else {
+          status = 201;
+        }
+      } else if (st.method == http::Method::get) {
+        if (st.key.starts_with("/scan/")) {
+          resp_body = scan_response(st.key);
+        } else {
+          auto v = lsm_->get(st.key);
+          if (v.ok()) {
+            resp_body = std::move(v.value());
+          } else {
+            status = v.errc() == Errc::not_found ? 404 : 500;
+          }
+        }
+      } else if (st.method == http::Method::del) {
+        status = lsm_->erase(st.key).ok() ? 204 : 500;
+      }
+      break;
+    }
+
+    case Backend::pktstore: {
+      if (st.method == http::Method::put) {
+        // Zero-copy ingest: per-packet value ranges.
+        std::vector<net::PktBuf*> pkts;
+        std::vector<u32> offs, lens;
+        std::size_t skip = st.head_len;
+        std::size_t remaining = st.body_len;
+        for (net::PktBuf* pb : st.pkts) {
+          const u32 plen = pb->payload_len();
+          if (skip >= plen) {
+            skip -= plen;
+            continue;
+          }
+          const u32 off = pb->payload_off + static_cast<u32>(skip);
+          const u32 len = static_cast<u32>(
+              std::min<std::size_t>(plen - skip, remaining));
+          skip = 0;
+          pkts.push_back(pb);
+          offs.push_back(off);
+          lens.push_back(len);
+          remaining -= len;
+          if (remaining == 0) break;
+        }
+        const Status s = pktstore_->put_pkts(st.key, pkts, offs, lens, bdp);
+        if (!s.ok()) {
+          status = 507;
+          errors_++;
+        } else {
+          status = 201;
+        }
+      } else if (st.method == http::Method::get) {
+        if (st.key.starts_with("/scan/")) {
+          resp_body = scan_response(st.key);
+        } else if (pktstore_->stat(st.key).ok()) {
+          zero_copy_response = true;
+        } else {
+          status = 404;
+        }
+      } else if (st.method == http::Method::del) {
+        status = pktstore_->erase(st.key) ? 204 : 404;
+      }
+      break;
+    }
+  }
+
+  if (zero_copy_response) {
+    respond_value_zero_copy(conn, st.key);
+  } else {
+    respond(conn, status, resp_body);
+  }
+  ops_++;
+  if (bdp != nullptr) {
+    breakdown_sum_ += bd;
+    breakdown_ops_++;
+  }
+
+  for (net::PktBuf* pb : st.pkts) host_.pool().free(pb);
+  ConnState fresh;
+  std::swap(conns_[&conn], fresh);
+}
+
+std::vector<u8> KvServer::scan_response(std::string_view target) {
+  // Range query (the §3 "efficient range query support" property):
+  // target is "/scan/<from>/<to>"; the response lists "key<TAB>len" lines
+  // for up to kMaxScan keys in [from, to).
+  constexpr std::size_t kMaxScan = 100;
+  target.remove_prefix(6);  // "/scan/"
+  const std::size_t slash = target.find('/');
+  const std::string_view from = target.substr(0, slash);
+  const std::string_view to =
+      slash == std::string_view::npos ? std::string_view{}
+                                      : target.substr(slash + 1);
+  std::string out;
+  std::size_t n = 0;
+  auto emit = [&](std::string_view key, u64 len) {
+    out += key;
+    out += '\t';
+    out += std::to_string(len);
+    out += '\n';
+    return ++n < kMaxScan;
+  };
+  if (lsm_.has_value()) {
+    lsm_->scan(from, to, [&](std::string_view k, std::span<const u8> v) {
+      return emit(k, v.size());
+    });
+  } else if (pktstore_.has_value()) {
+    pktstore_->scan(from, to,
+                    [&](std::string_view k, const core::PktStore::ValueMeta& m) {
+                      return emit(k, m.len);
+                    });
+  }
+  return {out.begin(), out.end()};
+}
+
+void KvServer::respond(net::TcpConn& conn, int status,
+                       std::span<const u8> body) {
+  auto& env = host_.env();
+  env.clock().advance(env.cost.scaled(env.cost.server_http_build_ns));
+  http::Response resp;
+  resp.status = status;
+  resp.body.assign(body.begin(), body.end());
+  (void)conn.send(http::serialize(resp));
+}
+
+void KvServer::respond_value_zero_copy(net::TcpConn& conn,
+                                       std::string_view key) {
+  auto& env = host_.env();
+  env.clock().advance(env.cost.scaled(env.cost.server_http_build_ns));
+  const auto st = pktstore_->stat(key);
+  // Headers go through the copying send (they are tiny)...
+  const std::string head = "HTTP/1.1 200 OK\r\nContent-Length: " +
+                           std::to_string(st->len) + "\r\n\r\n";
+  (void)conn.send(std::span<const u8>(
+      reinterpret_cast<const u8*>(head.data()), head.size()));
+  // ...the value leaves as frag-backed packets, zero copy (§4.2).
+  auto pkts = pktstore_->get_as_pkts(key);
+  if (!pkts.ok()) return;
+  for (net::PktBuf* pb : pkts.value()) {
+    if (!conn.send_pkt(pb).ok()) {
+      // Window full; closed-loop benches never hit this.
+      errors_++;
+    }
+  }
+}
+
+}  // namespace papm::app

@@ -1,0 +1,111 @@
+// The storage server of §3's methodology: HTTP over TCP, busy-polling
+// PASTE-style stack, one of four backends:
+//
+//   discard      — parse and drop; measures the networking-only RTT
+//                  (Table 1 row 1).
+//   raw_persist  — copy the body into PM and flush; the Figure 2
+//                  "Net. + persist." application.
+//   lsm          — the NoveLSM-like store with all data-management steps
+//                  (Figure 2 "Net. + data mgmt. + persist."), each step
+//                  toggleable via StoreKnobs for the Table 1 breakdown.
+//   pktstore     — the paper's proposal: requests are parsed in place and
+//                  their packets become the store.
+//
+// All backends use the zero-copy receive path (read_pkts) — PASTE served
+// the baseline in the paper too — so backend differences are pure
+// data-management differences.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "app/host.h"
+#include "core/pktstore.h"
+#include "http/http.h"
+#include "storage/lsm_store.h"
+
+namespace papm::app {
+
+enum class Backend { discard, raw_persist, lsm, pktstore };
+
+[[nodiscard]] constexpr std::string_view to_string(Backend b) noexcept {
+  switch (b) {
+    case Backend::discard: return "discard";
+    case Backend::raw_persist: return "raw_persist";
+    case Backend::lsm: return "lsm";
+    case Backend::pktstore: return "pktstore";
+  }
+  return "?";
+}
+
+struct ServerConfig {
+  Backend backend = Backend::lsm;
+  u16 port = 9000;
+  storage::StoreKnobs knobs;                 // lsm backend
+  bool lsm_wal = false;                      // lsm backend
+  core::PktStoreOptions pkt_opts;            // pktstore backend
+  bool collect_breakdown = true;
+};
+
+class KvServer {
+ public:
+  // The host must be PM-backed for every backend except discard.
+  KvServer(Host& host, const ServerConfig& cfg);
+
+  [[nodiscard]] u64 ops() const noexcept { return ops_; }
+  [[nodiscard]] const storage::OpBreakdown& breakdown_sum() const noexcept {
+    return breakdown_sum_;
+  }
+  [[nodiscard]] u64 breakdown_ops() const noexcept { return breakdown_ops_; }
+  [[nodiscard]] u64 errors() const noexcept { return errors_; }
+  void reset_stats() {
+    ops_ = 0;
+    errors_ = 0;
+    breakdown_sum_ = {};
+    breakdown_ops_ = 0;
+  }
+
+ private:
+  // Per-connection request assembly over zero-copy packets. The request
+  // head (start line + headers) must fit in the first segment — true for
+  // the paper's workloads; a slow path re-assembles otherwise.
+  struct ConnState {
+    std::vector<net::PktBuf*> pkts;  // segments of the in-flight request
+    std::size_t have_bytes = 0;
+    // Parsed from the head (valid once head_parsed):
+    bool head_parsed = false;
+    http::Method method = http::Method::other;
+    std::string key;
+    std::size_t head_len = 0;   // bytes before the body, within payload
+    std::size_t body_len = 0;   // Content-Length
+  };
+
+  void on_accept(net::TcpConn& conn);
+  void on_readable(net::TcpConn& conn);
+  bool try_parse_head(ConnState& st);
+  void dispatch(net::TcpConn& conn, ConnState& st);
+  [[nodiscard]] std::vector<u8> scan_response(std::string_view target);
+  void respond(net::TcpConn& conn, int status, std::span<const u8> body = {});
+  void respond_value_zero_copy(net::TcpConn& conn, std::string_view key);
+
+  Host& host_;
+  ServerConfig cfg_;
+  // The LSM baseline allocates from its own general-purpose PM pool (the
+  // user-space PM allocator of Table 1); the packet pool stays a cheap
+  // freelist for NIC RX buffers either way.
+  std::optional<pm::PmPool> store_pool_;
+  std::optional<storage::LsmStore> lsm_;
+  std::optional<core::PktStore> pktstore_;
+  // raw_persist bump region (recycled; models the Fig.2 simple app).
+  u64 raw_region_ = 0;
+  u64 raw_off_ = 0;
+  static constexpr u64 kRawRegion = 4u << 20;
+
+  std::unordered_map<net::TcpConn*, ConnState> conns_;
+  u64 ops_ = 0;
+  u64 errors_ = 0;
+  storage::OpBreakdown breakdown_sum_{};
+  u64 breakdown_ops_ = 0;
+};
+
+}  // namespace papm::app

@@ -1,0 +1,61 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace papm {
+namespace {
+
+// Build the 8 slicing tables at static-init time. Table 0 is the classic
+// byte-at-a-time table; table k folds k extra zero bytes.
+struct Tables {
+  std::array<std::array<u32, 256>, 8> t{};
+  constexpr Tables() {
+    constexpr u32 poly = 0x82F63B78u;  // reflected Castagnoli
+    for (u32 i = 0; i < 256; i++) {
+      u32 crc = i;
+      for (int bit = 0; bit < 8; bit++) {
+        crc = (crc & 1) ? (crc >> 1) ^ poly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (u32 i = 0; i < 256; i++) {
+      u32 crc = t[0][i];
+      for (std::size_t k = 1; k < 8; k++) {
+        crc = t[0][crc & 0xff] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+u32 crc32c_extend(u32 crc, std::span<const u8> data) noexcept {
+  const auto& t = kTables.t;
+  crc = ~crc;
+  const u8* p = data.data();
+  std::size_t n = data.size();
+
+  // Process 8 bytes per step via slicing-by-8.
+  while (n >= 8) {
+    const u32 lo = crc ^ (static_cast<u32>(p[0]) | static_cast<u32>(p[1]) << 8 |
+                          static_cast<u32>(p[2]) << 16 | static_cast<u32>(p[3]) << 24);
+    const u32 hi = static_cast<u32>(p[4]) | static_cast<u32>(p[5]) << 8 |
+                   static_cast<u32>(p[6]) << 16 | static_cast<u32>(p[7]) << 24;
+    crc = t[7][lo & 0xff] ^ t[6][(lo >> 8) & 0xff] ^ t[5][(lo >> 16) & 0xff] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xff] ^ t[2][(hi >> 8) & 0xff] ^
+          t[1][(hi >> 16) & 0xff] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+u32 crc32c(std::span<const u8> data) noexcept { return crc32c_extend(0, data); }
+
+}  // namespace papm

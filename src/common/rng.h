@@ -1,0 +1,113 @@
+// Deterministic, fast PRNGs for simulation and workload generation.
+//
+// We use our own generators (not <random> engines) so that results are
+// bit-identical across platforms and standard libraries: experiment
+// reproducibility depends on it.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace papm {
+
+// splitmix64: used to seed other generators from a single 64-bit seed.
+[[nodiscard]] constexpr u64 splitmix64(u64& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256**: fast, high-quality, deterministic.
+class Rng {
+ public:
+  explicit constexpr Rng(u64 seed = 0x9d2c5680u) noexcept {
+    u64 sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  [[nodiscard]] constexpr u64 next() noexcept {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  [[nodiscard]] constexpr u64 next_below(u64 bound) noexcept {
+    return next() % bound;  // modulo bias is negligible for our bounds
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  [[nodiscard]] constexpr u64 next_in(u64 lo, u64 hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  [[nodiscard]] constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial.
+  [[nodiscard]] constexpr bool chance(double p) noexcept {
+    return next_double() < p;
+  }
+
+  // Exponentially distributed with the given mean (for inter-arrival gaps).
+  [[nodiscard]] double next_exponential(double mean) noexcept {
+    double u = next_double();
+    if (u <= 0.0) u = 1e-18;
+    return -mean * std::log(u);
+  }
+
+ private:
+  [[nodiscard]] static constexpr u64 rotl(u64 x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  u64 s_[4]{};
+};
+
+// Zipfian key popularity (for skewed KV workloads), computed with the
+// classic rejection-free inverse-CDF approximation of Gray et al.
+class Zipf {
+ public:
+  Zipf(u64 n, double theta, u64 seed) : n_(n), theta_(theta), rng_(seed) {
+    zeta_n_ = zeta(n, theta);
+    zeta2_ = zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zeta_n_);
+  }
+
+  // Returns a key index in [0, n).
+  [[nodiscard]] u64 next() noexcept {
+    const double u = rng_.next_double();
+    const double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto v = static_cast<u64>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+ private:
+  [[nodiscard]] static double zeta(u64 n, double theta) {
+    double sum = 0;
+    for (u64 i = 1; i <= n; i++) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+  u64 n_;
+  double theta_;
+  Rng rng_;
+  double zeta_n_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace papm

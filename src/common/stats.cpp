@@ -1,0 +1,50 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace papm {
+
+void Stats::ensure_sorted() const {
+  if (sorted_) return;
+  sorted_samples_ = samples_;
+  std::sort(sorted_samples_.begin(), sorted_samples_.end());
+  sorted_ = true;
+}
+
+double Stats::min() const {
+  ensure_sorted();
+  return sorted_samples_.empty() ? 0.0 : sorted_samples_.front();
+}
+
+double Stats::max() const {
+  ensure_sorted();
+  return sorted_samples_.empty() ? 0.0 : sorted_samples_.back();
+}
+
+double Stats::percentile(double p) const {
+  ensure_sorted();
+  if (sorted_samples_.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted_samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted_samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_samples_[lo] * (1.0 - frac) + sorted_samples_[hi] * frac;
+}
+
+double Stats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+std::string format_us(double ns, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, ns / 1000.0);
+  return buf;
+}
+
+}  // namespace papm

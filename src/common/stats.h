@@ -1,0 +1,53 @@
+// Latency/throughput statistics collection for the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace papm {
+
+// Accumulates samples (e.g. per-request RTTs in ns) and reports summary
+// statistics. Percentile queries sort a copy lazily.
+class Stats {
+ public:
+  void add(double sample) {
+    samples_.push_back(sample);
+    sum_ += sample;
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+  }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  // p in [0, 100]; nearest-rank method.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] double stddev() const;
+
+  void clear() {
+    samples_.clear();
+    sum_ = 0;
+    sorted_ = false;
+  }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  double sum_ = 0;
+  mutable std::vector<double> sorted_samples_;
+  mutable bool sorted_ = false;
+};
+
+// Formats nanoseconds as a human-readable microsecond string ("26.71").
+[[nodiscard]] std::string format_us(double ns, int decimals = 2);
+
+}  // namespace papm

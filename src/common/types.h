@@ -1,0 +1,134 @@
+// Basic shared types for the papm libraries.
+//
+// We deliberately avoid exceptions on the data path (packet processing,
+// storage operations): fallible operations return Result<T> / Status and
+// callers must inspect them. Construction failures of long-lived objects
+// (e.g. a PM device that cannot map its file) may still throw, per the
+// Core Guidelines' "establish invariants in constructors".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace papm {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+// Error codes shared across the stack. Keep this a closed set so switch
+// statements over it can be exhaustively checked.
+enum class Errc {
+  ok = 0,
+  not_found,
+  already_exists,
+  out_of_space,
+  invalid_argument,
+  corrupted,       // integrity check failed (checksum mismatch, bad magic)
+  io_error,        // simulated device error
+  would_block,     // transient: retry later (e.g. TX ring full)
+  connection_reset,
+  not_connected,
+  too_large,
+  not_supported,
+  internal,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Errc e) noexcept {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::out_of_space: return "out_of_space";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::corrupted: return "corrupted";
+    case Errc::io_error: return "io_error";
+    case Errc::would_block: return "would_block";
+    case Errc::connection_reset: return "connection_reset";
+    case Errc::not_connected: return "not_connected";
+    case Errc::too_large: return "too_large";
+    case Errc::not_supported: return "not_supported";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+// A status: either ok or an error code. Cheap to copy.
+class Status {
+ public:
+  constexpr Status() noexcept = default;
+  constexpr Status(Errc e) noexcept : errc_(e) {}  // NOLINT: implicit by design
+
+  [[nodiscard]] constexpr bool ok() const noexcept { return errc_ == Errc::ok; }
+  [[nodiscard]] constexpr Errc errc() const noexcept { return errc_; }
+  [[nodiscard]] std::string_view message() const noexcept { return to_string(errc_); }
+
+  constexpr explicit operator bool() const noexcept { return ok(); }
+  friend constexpr bool operator==(Status a, Status b) noexcept { return a.errc_ == b.errc_; }
+
+  static constexpr Status Ok() noexcept { return {}; }
+
+ private:
+  Errc errc_ = Errc::ok;
+};
+
+// Minimal expected-like type: a value or an error code.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Errc e) : v_(e) {}                  // NOLINT: implicit by design
+  Result(Status s) : v_(s.errc()) {}         // NOLINT: implicit by design
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] Errc errc() const noexcept {
+    return ok() ? Errc::ok : std::get<Errc>(v_);
+  }
+  [[nodiscard]] Status status() const noexcept { return Status(errc()); }
+
+  // Precondition: ok().
+  [[nodiscard]] T& value() & { return std::get<T>(v_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(v_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(v_)); }
+
+  [[nodiscard]] T value_or(T alt) const& {
+    return ok() ? std::get<T>(v_) : std::move(alt);
+  }
+
+  [[nodiscard]] T* operator->() { return &std::get<T>(v_); }
+  [[nodiscard]] const T* operator->() const { return &std::get<T>(v_); }
+  [[nodiscard]] T& operator*() & { return std::get<T>(v_); }
+  [[nodiscard]] const T& operator*() const& { return std::get<T>(v_); }
+
+ private:
+  std::variant<T, Errc> v_;
+};
+
+// Nanoseconds of simulated time. Signed so durations subtract safely.
+using SimTime = i64;
+constexpr SimTime kNsPerUs = 1000;
+constexpr SimTime kNsPerMs = 1000 * 1000;
+constexpr SimTime kNsPerSec = 1000 * 1000 * 1000;
+
+constexpr std::size_t kCacheLine = 64;
+
+[[nodiscard]] constexpr u64 align_up(u64 v, u64 a) noexcept {
+  return (v + a - 1) / a * a;
+}
+[[nodiscard]] constexpr u64 align_down(u64 v, u64 a) noexcept {
+  return v / a * a;
+}
+
+}  // namespace papm

@@ -1,0 +1,278 @@
+#include "container/pskiplist.h"
+
+#include <cstring>
+
+namespace papm::container {
+
+namespace {
+// Node field offsets (see layout comment in the header).
+constexpr u64 kOffHeight = 0;
+constexpr u64 kOffFlags = 2;
+constexpr u64 kOffKeyLen = 4;
+constexpr u64 kOffPayload = 8;
+constexpr u64 kOffTower = 16;
+}  // namespace
+
+u16 PSkipList::node_height(u64 n) const {
+  u16 h;
+  std::memcpy(&h, dev_->at(n + kOffHeight, 2), 2);
+  return h;
+}
+
+bool PSkipList::is_dead(u64 n) const {
+  u16 f;
+  std::memcpy(&f, dev_->at(n + kOffFlags, 2), 2);
+  return (f & kDead) != 0;
+}
+
+std::string_view PSkipList::node_key(u64 n) const {
+  u32 len;
+  std::memcpy(&len, dev_->at(n + kOffKeyLen, 4), 4);
+  const u64 key_at = n + kOffTower + 8 * static_cast<u64>(node_height(n));
+  return {reinterpret_cast<const char*>(dev_->at(key_at, len)), len};
+}
+
+void PSkipList::publish_next(u64 n, int level, u64 to) {
+  set_next(n, level, to);
+  dev_->persist(n + kOffTower + 8 * static_cast<u64>(level), 8);
+}
+
+int PSkipList::random_height() {
+  int h = 1;
+  while (h < kMaxHeight && dev_->env().rng.next_below(kBranching) == 0) h++;
+  return h;
+}
+
+void PSkipList::charge_visits(u64 visits) const {
+  auto& env = dev_->env();
+  const double cold_p =
+      opts_.cold_visit_p * (warm_ ? env.cost.batched_warm_scale : 1.0);
+  const double cold = cold_p * static_cast<double>(visits);
+  env.clock().advance(static_cast<SimTime>(
+      cold * static_cast<double>(env.cost.pm_read_ns) +
+      (static_cast<double>(visits) - cold) *
+          static_cast<double>(env.cost.dram_read_ns) * 0.15));
+}
+
+u64 PSkipList::find_greater_or_equal(std::string_view key, u64* prev) const {
+  last_visits_ = 0;
+  u64 x = head_;
+  int level = height_ - 1;
+  while (true) {
+    const u64 next = next_of(x, level);
+    bool descend;
+    if (next == 0) {
+      descend = true;
+    } else {
+      last_visits_++;
+      descend = node_key(next) >= key;
+    }
+    if (!descend) {
+      x = next;
+    } else {
+      if (prev != nullptr) prev[level] = x;
+      if (level == 0) {
+        charge_visits(last_visits_);
+        return next;
+      }
+      level--;
+    }
+  }
+}
+
+PSkipList PSkipList::create(pm::PmDevice& dev, pm::PmPool& pool,
+                            std::string_view name, Options opts) {
+  const u64 bytes = node_bytes(kMaxHeight, 0);
+  auto head = pool.alloc(bytes);
+  if (!head.ok()) throw std::runtime_error("PSkipList: pool exhausted");
+  const u64 h = head.value();
+  // Zero the head: height, no flags, empty key, null tower.
+  std::vector<u8> zero(bytes, 0);
+  const u16 height = kMaxHeight;
+  std::memcpy(zero.data() + kOffHeight, &height, 2);
+  dev.store(h, zero);
+  dev.persist(h, bytes);
+  if (!dev.set_root(name, h).ok()) {
+    throw std::runtime_error("PSkipList: root table full");
+  }
+  return PSkipList(dev, pool, h, opts);
+}
+
+Result<PSkipList> PSkipList::recover(pm::PmDevice& dev, pm::PmPool& pool,
+                                     std::string_view name, Options opts) {
+  const auto root = dev.get_root(name);
+  if (!root.ok()) return root.errc();
+  PSkipList list(dev, pool, root.value(), opts);
+  if (list.node_height(list.head_) != kMaxHeight) return Errc::corrupted;
+  list.rebuild_towers();
+  return list;
+}
+
+void PSkipList::rebuild_towers() {
+  // Pass 1: walk level 0, unlinking dead nodes and counting/validating.
+  u64 prev_at[kMaxHeight];
+  for (auto& p : prev_at) p = head_;
+  size_ = 0;
+  height_ = 1;
+
+  u64 prev0 = head_;
+  u64 n = next_of(head_, 0);
+  while (n != 0) {
+    const u64 nxt = next_of(n, 0);
+    if (is_dead(n)) {
+      // Physically unlink and reclaim.
+      publish_next(prev0, 0, nxt);
+      pool_->free(n, node_bytes(node_height(n), static_cast<u32>(node_key(n).size())));
+      n = nxt;
+      continue;
+    }
+    const int h = node_height(n);
+    if (h > height_) height_ = h;
+    // Relink every level of this node's tower.
+    for (int i = 1; i < h; i++) {
+      set_next(prev_at[i], i, n);
+      dev_->clwb(prev_at[i] + kOffTower + 8 * static_cast<u64>(i), 8);
+      prev_at[i] = n;
+      set_next(n, i, 0);
+      dev_->clwb(n + kOffTower + 8 * static_cast<u64>(i), 8);
+    }
+    size_++;
+    prev0 = n;
+    n = nxt;
+  }
+  // Terminate rebuilt towers above level 0 and at unused head levels.
+  for (int i = 1; i < kMaxHeight; i++) {
+    if (prev_at[i] != head_ || next_of(head_, i) != 0) {
+      set_next(prev_at[i], i, 0);
+      dev_->clwb(prev_at[i] + kOffTower + 8 * static_cast<u64>(i), 8);
+    }
+  }
+  dev_->sfence();
+}
+
+Status PSkipList::put(std::string_view key, u64 payload, u64* old_payload) {
+  if (key.empty() || key.size() > 0xffffffu) return Errc::invalid_argument;
+  u64 prev[kMaxHeight];
+  for (auto& p : prev) p = head_;
+  const u64 found = find_greater_or_equal(key, prev);
+
+  if (found != 0 && node_key(found) == key) {
+    if (!is_dead(found) && old_payload != nullptr) {
+      *old_payload = node_payload(found);
+    }
+    if (is_dead(found)) {
+      // Resurrect: republish payload, then clear the dead flag.
+      dev_->store_u64(found + kOffPayload, payload);
+      dev_->persist(found + kOffPayload, 8);
+      const u16 flags = 0;
+      dev_->store(found + kOffFlags,
+                  std::span<const u8>(reinterpret_cast<const u8*>(&flags), 2));
+      dev_->persist(found + kOffFlags, 2);
+      size_++;
+    } else {
+      dev_->store_u64(found + kOffPayload, payload);
+      dev_->persist(found + kOffPayload, 8);
+    }
+    return Errc::ok;
+  }
+
+  const int h = random_height();
+  const u64 bytes = node_bytes(h, static_cast<u32>(key.size()));
+  auto node = pool_->alloc(bytes);
+  if (!node.ok()) return Errc::out_of_space;
+  const u64 n = node.value();
+
+  // 1. Construct the node in place, including its own tower links.
+  const u16 height = static_cast<u16>(h);
+  const u16 flags = 0;
+  const u32 klen = static_cast<u32>(key.size());
+  u8 fixed[16];
+  std::memcpy(fixed + kOffHeight, &height, 2);
+  std::memcpy(fixed + kOffFlags, &flags, 2);
+  std::memcpy(fixed + kOffKeyLen, &klen, 4);
+  std::memcpy(fixed + kOffPayload, &payload, 8);
+  dev_->store(n, fixed);
+  for (int i = 0; i < h; i++) {
+    set_next(n, i, i < height_ ? next_of(prev[i], i) : 0);
+  }
+  dev_->store(n + kOffTower + 8 * static_cast<u64>(h),
+              std::span<const u8>(reinterpret_cast<const u8*>(key.data()), key.size()));
+  dev_->persist(n, bytes);
+
+  if (h > height_) height_ = h;
+
+  // 2. Linearization point: publish into level 0.
+  publish_next(prev[0], 0, n);
+
+  // 3. Shortcut levels (batched flushes, one fence).
+  for (int i = 1; i < h; i++) {
+    set_next(prev[i], i, n);
+    dev_->clwb(prev[i] + kOffTower + 8 * static_cast<u64>(i), 8);
+  }
+  if (h > 1) dev_->sfence();
+
+  size_++;
+  return Errc::ok;
+}
+
+Result<u64> PSkipList::get(std::string_view key) const {
+  const u64 n = find_greater_or_equal(key, nullptr);
+  if (n == 0 || is_dead(n) || node_key(n) != key) return Errc::not_found;
+  return node_payload(n);
+}
+
+bool PSkipList::erase(std::string_view key) {
+  u64 prev[kMaxHeight];
+  for (auto& p : prev) p = head_;
+  const u64 n = find_greater_or_equal(key, prev);
+  if (n == 0 || is_dead(n) || node_key(n) != key) return false;
+
+  // 1. Linearization point: persist the dead flag.
+  const u16 flags = kDead;
+  dev_->store(n + kOffFlags,
+              std::span<const u8>(reinterpret_cast<const u8*>(&flags), 2));
+  dev_->persist(n + kOffFlags, 2);
+
+  // 2. Unlink top-down; each publish keeps the list consistent.
+  const int h = node_height(n);
+  for (int i = h - 1; i >= 0; i--) {
+    if (next_of(prev[i], i) == n) {
+      publish_next(prev[i], i, next_of(n, i));
+    }
+  }
+  pool_->free(n, node_bytes(h, static_cast<u32>(key.size())));
+  size_--;
+  return true;
+}
+
+Status PSkipList::validate() const {
+  // Level 0: strictly sorted.
+  u64 n = next_of(head_, 0);
+  std::string prev_key;
+  bool first = true;
+  while (n != 0) {
+    const std::string_view k = node_key(n);
+    if (!first && k <= prev_key) return Errc::corrupted;
+    prev_key = std::string(k);
+    first = false;
+    n = next_of(n, 0);
+  }
+  // Upper levels: every link lands on a level-0-reachable node with
+  // sufficient height, in sorted order.
+  for (int lvl = 1; lvl < kMaxHeight; lvl++) {
+    u64 x = next_of(head_, lvl);
+    std::string last;
+    bool f2 = true;
+    while (x != 0) {
+      if (node_height(x) <= lvl) return Errc::corrupted;
+      const std::string_view k = node_key(x);
+      if (!f2 && k <= last) return Errc::corrupted;
+      last = std::string(k);
+      f2 = false;
+      x = next_of(x, lvl);
+    }
+  }
+  return Errc::ok;
+}
+
+}  // namespace papm::container

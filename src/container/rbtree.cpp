@@ -1,0 +1,3 @@
+#include "container/rbtree.h"
+
+// RbTree is header-only; this TU anchors the library target.

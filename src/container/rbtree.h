@@ -1,0 +1,316 @@
+// Intrusive red-black tree.
+//
+// The Linux TCP receiver keeps out-of-order segments in an rbtree of
+// sk_buffs; the paper points to that structure as evidence that packet
+// metadata composes into efficient in-memory indexes (§4.1). Our TCP
+// reassembly queue (net/tcp.h) uses this tree with PktBuf nodes.
+//
+// Intrusive: the element embeds an RbHook; the tree never allocates.
+// CLRS-style implementation with a per-tree nil sentinel.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace papm::container {
+
+struct RbHook {
+  RbHook* parent = nullptr;
+  RbHook* left = nullptr;
+  RbHook* right = nullptr;
+  bool red = false;
+};
+
+// T: element type. HookOf: extracts RbHook& from T. KeyOf: extracts the
+// comparable key. Compare: strict weak order on keys.
+template <typename T, typename Key, RbHook T::*HookMember, Key T::*KeyMember,
+          typename Compare = std::less<Key>>
+class RbTree {
+ public:
+  RbTree() { root_ = &nil_; }
+
+  RbTree(const RbTree&) = delete;
+  RbTree& operator=(const RbTree&) = delete;
+
+  [[nodiscard]] bool empty() const noexcept { return root_ == &nil_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  // Inserts `elem`. Duplicate keys are allowed; duplicates go right, so
+  // iteration is stable in insertion order among equals.
+  void insert(T& elem) {
+    RbHook* z = hook(elem);
+    z->left = z->right = &nil_;
+    RbHook* y = &nil_;
+    RbHook* x = root_;
+    while (x != &nil_) {
+      y = x;
+      x = cmp_(key(*z), key(*x)) ? x->left : x->right;
+    }
+    z->parent = y;
+    if (y == &nil_) {
+      root_ = z;
+    } else if (cmp_(key(*z), key(*y))) {
+      y->left = z;
+    } else {
+      y->right = z;
+    }
+    z->red = true;
+    insert_fixup(z);
+    size_++;
+  }
+
+  void erase(T& elem) {
+    RbHook* z = hook(elem);
+    RbHook* y = z;
+    RbHook* x;
+    bool y_was_red = y->red;
+    if (z->left == &nil_) {
+      x = z->right;
+      transplant(z, z->right);
+    } else if (z->right == &nil_) {
+      x = z->left;
+      transplant(z, z->left);
+    } else {
+      y = minimum(z->right);
+      y_was_red = y->red;
+      x = y->right;
+      if (y->parent == z) {
+        x->parent = y;  // x may be nil; fixup needs its parent
+      } else {
+        transplant(y, y->right);
+        y->right = z->right;
+        y->right->parent = y;
+      }
+      transplant(z, y);
+      y->left = z->left;
+      y->left->parent = y;
+      y->red = z->red;
+    }
+    if (!y_was_red) erase_fixup(x);
+    z->parent = z->left = z->right = nullptr;
+    size_--;
+  }
+
+  // Smallest element with key >= k, or nullptr.
+  [[nodiscard]] T* lower_bound(const Key& k) {
+    RbHook* x = root_;
+    RbHook* best = &nil_;
+    while (x != &nil_) {
+      if (!cmp_(key(*x), k)) {  // key(x) >= k
+        best = x;
+        x = x->left;
+      } else {
+        x = x->right;
+      }
+    }
+    return best == &nil_ ? nullptr : elem(best);
+  }
+
+  // Exact match (first among duplicates), or nullptr.
+  [[nodiscard]] T* find(const Key& k) {
+    T* lb = lower_bound(k);
+    if (lb == nullptr || cmp_(k, key(*hook(*lb)))) return nullptr;
+    return lb;
+  }
+
+  [[nodiscard]] T* first() {
+    if (empty()) return nullptr;
+    return elem(minimum(root_));
+  }
+  [[nodiscard]] T* last() {
+    if (empty()) return nullptr;
+    RbHook* x = root_;
+    while (x->right != &nil_) x = x->right;
+    return elem(x);
+  }
+
+  // In-order successor, or nullptr.
+  [[nodiscard]] T* next(T& e) {
+    RbHook* x = hook(e);
+    if (x->right != &nil_) return elem(minimum(x->right));
+    RbHook* y = x->parent;
+    while (y != &nil_ && x == y->right) {
+      x = y;
+      y = y->parent;
+    }
+    return y == &nil_ ? nullptr : elem(y);
+  }
+
+  // Validates the red-black invariants; returns black-height or -1.
+  // For tests.
+  [[nodiscard]] int validate() const { return validate_rec(root_); }
+
+ private:
+  static RbHook* hook(T& e) noexcept { return &(e.*HookMember); }
+  T* elem(RbHook* h) const noexcept {
+    // Recover the element from its embedded hook via member-offset math.
+    auto off = reinterpret_cast<std::size_t>(
+        &(reinterpret_cast<T const volatile*>(0)->*HookMember));
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(h) - off);
+  }
+  const Key& key(RbHook& h) const noexcept { return elem(&h)->*KeyMember; }
+
+  RbHook* minimum(RbHook* x) {
+    while (x->left != &nil_) x = x->left;
+    return x;
+  }
+
+  void rotate_left(RbHook* x) {
+    RbHook* y = x->right;
+    x->right = y->left;
+    if (y->left != &nil_) y->left->parent = x;
+    y->parent = x->parent;
+    if (x->parent == &nil_) {
+      root_ = y;
+    } else if (x == x->parent->left) {
+      x->parent->left = y;
+    } else {
+      x->parent->right = y;
+    }
+    y->left = x;
+    x->parent = y;
+  }
+
+  void rotate_right(RbHook* x) {
+    RbHook* y = x->left;
+    x->left = y->right;
+    if (y->right != &nil_) y->right->parent = x;
+    y->parent = x->parent;
+    if (x->parent == &nil_) {
+      root_ = y;
+    } else if (x == x->parent->right) {
+      x->parent->right = y;
+    } else {
+      x->parent->left = y;
+    }
+    y->right = x;
+    x->parent = y;
+  }
+
+  void insert_fixup(RbHook* z) {
+    while (z->parent->red) {
+      if (z->parent == z->parent->parent->left) {
+        RbHook* y = z->parent->parent->right;
+        if (y->red) {
+          z->parent->red = false;
+          y->red = false;
+          z->parent->parent->red = true;
+          z = z->parent->parent;
+        } else {
+          if (z == z->parent->right) {
+            z = z->parent;
+            rotate_left(z);
+          }
+          z->parent->red = false;
+          z->parent->parent->red = true;
+          rotate_right(z->parent->parent);
+        }
+      } else {
+        RbHook* y = z->parent->parent->left;
+        if (y->red) {
+          z->parent->red = false;
+          y->red = false;
+          z->parent->parent->red = true;
+          z = z->parent->parent;
+        } else {
+          if (z == z->parent->left) {
+            z = z->parent;
+            rotate_right(z);
+          }
+          z->parent->red = false;
+          z->parent->parent->red = true;
+          rotate_left(z->parent->parent);
+        }
+      }
+    }
+    root_->red = false;
+  }
+
+  void transplant(RbHook* u, RbHook* v) {
+    if (u->parent == &nil_) {
+      root_ = v;
+    } else if (u == u->parent->left) {
+      u->parent->left = v;
+    } else {
+      u->parent->right = v;
+    }
+    v->parent = u->parent;
+  }
+
+  void erase_fixup(RbHook* x) {
+    while (x != root_ && !x->red) {
+      if (x == x->parent->left) {
+        RbHook* w = x->parent->right;
+        if (w->red) {
+          w->red = false;
+          x->parent->red = true;
+          rotate_left(x->parent);
+          w = x->parent->right;
+        }
+        if (!w->left->red && !w->right->red) {
+          w->red = true;
+          x = x->parent;
+        } else {
+          if (!w->right->red) {
+            w->left->red = false;
+            w->red = true;
+            rotate_right(w);
+            w = x->parent->right;
+          }
+          w->red = x->parent->red;
+          x->parent->red = false;
+          w->right->red = false;
+          rotate_left(x->parent);
+          x = root_;
+        }
+      } else {
+        RbHook* w = x->parent->left;
+        if (w->red) {
+          w->red = false;
+          x->parent->red = true;
+          rotate_right(x->parent);
+          w = x->parent->left;
+        }
+        if (!w->right->red && !w->left->red) {
+          w->red = true;
+          x = x->parent;
+        } else {
+          if (!w->left->red) {
+            w->right->red = false;
+            w->red = true;
+            rotate_left(w);
+            w = x->parent->left;
+          }
+          w->red = x->parent->red;
+          x->parent->red = false;
+          w->left->red = false;
+          rotate_right(x->parent);
+          x = root_;
+        }
+      }
+    }
+    x->red = false;
+  }
+
+  int validate_rec(const RbHook* n) const {
+    if (n == &nil_) return 1;
+    if (n->red && (n->left->red || n->right->red)) return -1;  // red-red
+    const int lh = validate_rec(n->left);
+    const int rh = validate_rec(n->right);
+    if (lh < 0 || rh < 0 || lh != rh) return -1;
+    if (n->left != &nil_ && cmp_(key(*const_cast<RbHook*>(n)),
+                                 key(*const_cast<RbHook*>(n->left)))) {
+      return -1;  // order violation
+    }
+    return lh + (n->red ? 0 : 1);
+  }
+
+  RbHook nil_{};  // nil_.red == false always
+  RbHook* root_;
+  std::size_t size_ = 0;
+  Compare cmp_{};
+};
+
+}  // namespace papm::container

@@ -1,0 +1,140 @@
+// Volatile skip list (DRAM), LevelDB-memtable style.
+//
+// Used as the behavioural reference for the persistent skip list in tests
+// and as the DRAM-resident index for baseline configurations. Keys and
+// payloads are owned by the caller (string keys copied into nodes here for
+// simplicity; the persistent variant stores keys in PM).
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace papm::container {
+
+class SkipList {
+ public:
+  static constexpr int kMaxHeight = 12;
+  static constexpr u32 kBranching = 4;  // P(level up) = 1/4, as in LevelDB
+
+  explicit SkipList(Rng rng) : rng_(rng) {
+    head_ = make_node("", 0, kMaxHeight);
+  }
+  SkipList() : SkipList(Rng{0x51eedULL}) {}
+
+  // Inserts or overwrites. Returns true if the key was new.
+  bool put(std::string_view key, u64 payload) {
+    Node* prev[kMaxHeight];
+    Node* n = find_greater_or_equal(key, prev);
+    if (n != nullptr && n->key == key) {
+      n->payload = payload;
+      return false;
+    }
+    const int h = random_height();
+    if (h > height_) {
+      for (int i = height_; i < h; i++) prev[i] = head_;
+      height_ = h;
+    }
+    Node* node = make_node(key, payload, h);
+    for (int i = 0; i < h; i++) {
+      node->next[i] = prev[i]->next[i];
+      prev[i]->next[i] = node;
+    }
+    size_++;
+    return true;
+  }
+
+  // Returns the payload, or not_found.
+  [[nodiscard]] Result<u64> get(std::string_view key) const {
+    const Node* n = find_greater_or_equal(key, nullptr);
+    if (n != nullptr && n->key == key) return n->payload;
+    return Errc::not_found;
+  }
+
+  // Physically removes the key. Returns true if it was present.
+  bool erase(std::string_view key) {
+    Node* prev[kMaxHeight];
+    Node* n = find_greater_or_equal(key, prev);
+    if (n == nullptr || n->key != key) return false;
+    for (int i = 0; i < n->height; i++) {
+      if (prev[i]->next[i] == n) prev[i]->next[i] = n->next[i];
+    }
+    for (auto it = owned_.begin(); it != owned_.end(); ++it) {
+      if (it->get() == n) {
+        owned_.erase(it);
+        break;
+      }
+    }
+    size_--;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  // Range scan: invokes fn(key, payload) for keys in [from, to); stops
+  // early if fn returns false.
+  template <typename Fn>
+  void scan(std::string_view from, std::string_view to, Fn&& fn) const {
+    const Node* n = find_greater_or_equal(from, nullptr);
+    while (n != nullptr && (to.empty() || n->key < to)) {
+      if (!fn(std::string_view(n->key), n->payload)) return;
+      n = n->next[0];
+    }
+  }
+
+  // Number of node key-comparisons in the last find; for cost accounting.
+  [[nodiscard]] u64 last_visits() const noexcept { return last_visits_; }
+
+ private:
+  struct Node {
+    std::string key;
+    u64 payload;
+    int height;
+    std::vector<Node*> next;  // size == height
+  };
+
+  Node* make_node(std::string_view key, u64 payload, int height) {
+    owned_.push_back(std::make_unique<Node>(
+        Node{std::string(key), payload, height, std::vector<Node*>(height, nullptr)}));
+    return owned_.back().get();
+  }
+
+  int random_height() {
+    int h = 1;
+    while (h < kMaxHeight && rng_.next_below(kBranching) == 0) h++;
+    return h;
+  }
+
+  // First node with key >= `key`; fills prev[] per level if non-null.
+  Node* find_greater_or_equal(std::string_view key, Node** prev) const {
+    last_visits_ = 0;
+    Node* x = head_;
+    int level = height_ - 1;
+    while (true) {
+      Node* next = x->next[level];
+      if (next != nullptr && next->key < key) {
+        last_visits_++;
+        x = next;
+      } else {
+        if (next != nullptr) last_visits_++;
+        if (prev != nullptr) prev[level] = x;
+        if (level == 0) return next;
+        level--;
+      }
+    }
+  }
+
+  Rng rng_;
+  Node* head_;
+  int height_ = 1;
+  std::size_t size_ = 0;
+  std::vector<std::unique_ptr<Node>> owned_;
+  mutable u64 last_visits_ = 0;
+};
+
+}  // namespace papm::container

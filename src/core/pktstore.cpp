@@ -1,0 +1,147 @@
+#include "core/pktstore.h"
+
+#include <stdexcept>
+
+namespace papm::core {
+
+namespace {
+net::PmArena& pm_arena_of(net::PktBufPool& pool) {
+  auto* arena = dynamic_cast<net::PmArena*>(&pool.arena());
+  if (arena == nullptr) {
+    throw std::invalid_argument(
+        "PktStore requires a PM-backed packet pool (PmArena)");
+  }
+  return *arena;
+}
+}  // namespace
+
+PktStore PktStore::create(net::PktBufPool& pktpool, std::string_view name,
+                          PktStoreOptions opts) {
+  net::PmArena& arena = pm_arena_of(pktpool);
+  auto index = container::PSkipList::create(arena.device(), arena.pool(),
+                                            std::string(name) + ".idx");
+  return PktStore(pktpool, arena, std::move(index), opts);
+}
+
+Result<PktStore> PktStore::recover(net::PktBufPool& pktpool,
+                                   std::string_view name,
+                                   PktStoreOptions opts) {
+  net::PmArena& arena = pm_arena_of(pktpool);
+  auto index = container::PSkipList::recover(arena.device(), arena.pool(),
+                                             std::string(name) + ".idx");
+  if (!index.ok()) return index.errc();
+  PktStore store(pktpool, arena, std::move(index.value()), opts);
+  // Re-register every live data buffer with the fresh packet pool.
+  Status st = Errc::ok;
+  store.index_.scan("", "", [&](std::string_view, u64 head) {
+    const Status s = store.chain_.restore(head);
+    if (!s.ok()) st = s;
+    return s.ok();
+  });
+  if (!st.ok()) return st.errc();
+  return store;
+}
+
+void PktStore::charge_prep(storage::OpBreakdown* bd) const {
+  auto& env = chain_.device().env();
+  const SimTime t0 = env.now();
+  env.clock().advance(opts_.light_prep ? env.cost.pktstore_prep_ns
+                                       : env.cost.request_prep_ns);
+  if (bd != nullptr) bd->prep_ns += env.now() - t0;
+}
+
+Status PktStore::put_pkt(std::string_view key, net::PktBuf& pb, u32 val_off,
+                         u32 val_len, storage::OpBreakdown* bd) {
+  net::PktBuf* pkts[1] = {&pb};
+  const u32 offs[1] = {val_off};
+  const u32 lens[1] = {val_len};
+  return put_pkts(key, pkts, offs, lens, bd);
+}
+
+Status PktStore::put_pkts(std::string_view key,
+                          std::span<net::PktBuf* const> pkts,
+                          std::span<const u32> offs, std::span<const u32> lens,
+                          storage::OpBreakdown* bd) {
+  charge_prep(bd);
+  auto head = chain_.ingest_pkts(pkts, offs, lens, ingest_opts(), bd);
+  if (!head.ok()) return head.errc();
+
+  auto& env = chain_.device().env();
+  const SimTime t0 = env.now();
+  u64 old_head = 0;
+  const Status st = index_.put(key, head.value(), &old_head);
+  if (bd != nullptr) bd->alloc_insert_ns += env.now() - t0;
+  if (!st.ok()) {
+    chain_.free_chain(head.value());
+    return st;
+  }
+  if (old_head != 0) chain_.free_chain(old_head);
+  return Errc::ok;
+}
+
+Status PktStore::put_bytes(std::string_view key, std::span<const u8> value,
+                           storage::OpBreakdown* bd) {
+  charge_prep(bd);
+  auto head = chain_.ingest_bytes(value, ingest_opts(), bd);
+  if (!head.ok()) return head.errc();
+
+  auto& env = chain_.device().env();
+  const SimTime t0 = env.now();
+  u64 old_head = 0;
+  const Status st = index_.put(key, head.value(), &old_head);
+  if (bd != nullptr) bd->alloc_insert_ns += env.now() - t0;
+  if (!st.ok()) {
+    chain_.free_chain(head.value());
+    return st;
+  }
+  if (old_head != 0) chain_.free_chain(old_head);
+  return Errc::ok;
+}
+
+Result<std::vector<u8>> PktStore::get(std::string_view key) const {
+  const auto head = index_.get(key);
+  if (!head.ok()) return head.errc();
+  const Status st = chain_.verify(head.value());
+  if (!st.ok()) return st.errc();
+  return chain_.read(head.value());
+}
+
+Result<std::vector<net::PktBuf*>> PktStore::get_as_pkts(
+    std::string_view key) const {
+  const auto head = index_.get(key);
+  if (!head.ok()) return head.errc();
+  return chain_.emit_pkts(head.value());
+}
+
+PktStore::ValueMeta PktStore::stat_of(u64 head) const {
+  const PPktMeta* m = chain_.meta(head);
+  ValueMeta vm{};
+  vm.len = m->total_len;
+  vm.csum_kind = static_cast<CsumKind>(m->csum_kind);
+  vm.hw_tstamp = m->hw_tstamp;
+  vm.segments = 0;
+  for (u64 at = head; at != 0; at = chain_.meta(at)->next) vm.segments++;
+  return vm;
+}
+
+Result<PktStore::ValueMeta> PktStore::stat(std::string_view key) const {
+  const auto head = index_.get(key);
+  if (!head.ok()) return head.errc();
+  return stat_of(head.value());
+}
+
+Status PktStore::verify(std::string_view key) const {
+  const auto head = index_.get(key);
+  if (!head.ok()) return head.status();
+  return chain_.verify(head.value());
+}
+
+bool PktStore::erase(std::string_view key) {
+  const auto head = index_.get(key);
+  if (!head.ok()) return false;
+  if (!index_.erase(key)) return false;
+  chain_.free_chain(head.value());
+  return true;
+}
+
+}  // namespace papm::core

@@ -1,0 +1,177 @@
+#include "core/pmfs.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace papm::core {
+
+namespace {
+net::PmArena& pm_arena_of(net::PktBufPool& pool) {
+  auto* arena = dynamic_cast<net::PmArena*>(&pool.arena());
+  if (arena == nullptr) {
+    throw std::invalid_argument("PmFs requires a PM-backed packet pool");
+  }
+  return *arena;
+}
+}  // namespace
+
+PmFs PmFs::create(net::PktBufPool& pktpool, std::string_view name,
+                  PmFsOptions opts) {
+  net::PmArena& arena = pm_arena_of(pktpool);
+  auto dir = container::PSkipList::create(arena.device(), arena.pool(),
+                                          std::string(name) + ".dir");
+  return PmFs(pktpool, arena, std::move(dir), opts);
+}
+
+Result<PmFs> PmFs::recover(net::PktBufPool& pktpool, std::string_view name,
+                           PmFsOptions opts) {
+  net::PmArena& arena = pm_arena_of(pktpool);
+  auto dir = container::PSkipList::recover(arena.device(), arena.pool(),
+                                           std::string(name) + ".dir");
+  if (!dir.ok()) return dir.errc();
+  PmFs fs(pktpool, arena, std::move(dir.value()), opts);
+  Status st = Errc::ok;
+  fs.dir_.scan("", "", [&](std::string_view, u64 ino) {
+    const PInode* i = fs.inode(ino);
+    if (i->magic != PInode::kMagic) {
+      st = Errc::corrupted;
+      return false;
+    }
+    if (i->chain != 0) {
+      const Status s = fs.chain_.restore(i->chain);
+      if (!s.ok()) st = s;
+      return s.ok();
+    }
+    return true;
+  });
+  if (!st.ok()) return st.errc();
+  return fs;
+}
+
+const PmFs::PInode* PmFs::inode(u64 off) const {
+  return reinterpret_cast<const PInode*>(
+      chain_.device().at(off, sizeof(PInode)));
+}
+
+Status PmFs::publish(std::string_view path, u64 chain_head, u64 size,
+                     i64 mtime) {
+  if (path.empty() || path.size() > kMaxName) return Errc::invalid_argument;
+  auto& dev = chain_.device();
+
+  // Build and persist the inode, then publish it in the directory — the
+  // same write -> flush -> fence -> publish discipline as everywhere.
+  auto ino = chain_.pmpool().alloc(sizeof(PInode));
+  if (!ino.ok()) return ino.errc();
+  PInode node{};
+  node.magic = PInode::kMagic;
+  node.name_len = static_cast<u32>(path.size());
+  node.size = size;
+  node.mtime = mtime;
+  node.chain = chain_head;
+  std::memcpy(node.name, path.data(), path.size());
+  dev.store(ino.value(), std::span<const u8>(
+                             reinterpret_cast<const u8*>(&node), sizeof(node)));
+  dev.persist(ino.value(), sizeof(node));
+
+  u64 old_ino = 0;
+  const Status st = dir_.put(path, ino.value(), &old_ino);
+  if (!st.ok()) {
+    chain_.pmpool().free(ino.value(), sizeof(PInode));
+    return st;
+  }
+  if (old_ino != 0) {
+    const PInode* old = inode(old_ino);
+    if (old->chain != 0) chain_.free_chain(old->chain);
+    chain_.pmpool().free(old_ino, sizeof(PInode));
+  }
+  return Errc::ok;
+}
+
+Status PmFs::write_file(std::string_view path, std::span<const u8> data) {
+  u64 head = 0;
+  if (!data.empty()) {
+    auto r = chain_.ingest_bytes(data, opts_.ingest);
+    if (!r.ok()) return r.errc();
+    head = r.value();
+  }
+  const i64 mtime = chain_.device().env().now();
+  const Status st = publish(path, head, data.size(), mtime);
+  if (!st.ok() && head != 0) chain_.free_chain(head);
+  return st;
+}
+
+Status PmFs::ingest_file(std::string_view path,
+                         std::span<net::PktBuf* const> pkts,
+                         std::span<const u32> offs,
+                         std::span<const u32> lens) {
+  auto r = chain_.ingest_pkts(pkts, offs, lens, opts_.ingest);
+  if (!r.ok()) return r.errc();
+  u64 total = 0;
+  for (const u32 l : lens) total += l;
+  const i64 mtime = opts_.ingest.reuse_timestamp && !pkts.empty()
+                        ? pkts.front()->hw_tstamp
+                        : chain_.device().env().now();
+  const Status st = publish(path, r.value(), total, mtime);
+  if (!st.ok()) chain_.free_chain(r.value());
+  return st;
+}
+
+Result<std::vector<u8>> PmFs::read_file(std::string_view path) const {
+  const auto ino = dir_.get(path);
+  if (!ino.ok()) return ino.errc();
+  const PInode* i = inode(ino.value());
+  if (i->magic != PInode::kMagic) return Errc::corrupted;
+  if (i->chain == 0) return std::vector<u8>{};
+  return chain_.read(i->chain);
+}
+
+Result<std::vector<net::PktBuf*>> PmFs::emit_pkts(std::string_view path) const {
+  const auto ino = dir_.get(path);
+  if (!ino.ok()) return ino.errc();
+  const PInode* i = inode(ino.value());
+  if (i->chain == 0) return std::vector<net::PktBuf*>{};
+  return chain_.emit_pkts(i->chain);
+}
+
+PmFs::FileStat PmFs::stat_of(u64 inode_off) const {
+  const PInode* i = inode(inode_off);
+  FileStat st{};
+  st.size = i->size;
+  st.mtime = i->mtime;
+  st.extents = 0;
+  st.csum_kind = CsumKind::none;
+  for (u64 at = i->chain; at != 0; at = chain_.meta(at)->next) {
+    if (st.extents == 0) {
+      st.csum_kind = static_cast<CsumKind>(chain_.meta(at)->csum_kind);
+    }
+    st.extents++;
+  }
+  return st;
+}
+
+Result<PmFs::FileStat> PmFs::stat(std::string_view path) const {
+  const auto ino = dir_.get(path);
+  if (!ino.ok()) return ino.errc();
+  return stat_of(ino.value());
+}
+
+Status PmFs::verify(std::string_view path) const {
+  const auto ino = dir_.get(path);
+  if (!ino.ok()) return ino.status();
+  const PInode* i = inode(ino.value());
+  if (i->magic != PInode::kMagic) return Errc::corrupted;
+  if (i->chain == 0) return Errc::ok;
+  return chain_.verify(i->chain);
+}
+
+bool PmFs::unlink(std::string_view path) {
+  const auto ino = dir_.get(path);
+  if (!ino.ok()) return false;
+  if (!dir_.erase(path)) return false;
+  const PInode* i = inode(ino.value());
+  if (i->chain != 0) chain_.free_chain(i->chain);
+  chain_.pmpool().free(ino.value(), sizeof(PInode));
+  return true;
+}
+
+}  // namespace papm::core

@@ -1,0 +1,102 @@
+// PmFs — the §4.2 packet-metadata file system sketch, built.
+//
+// "File systems manage on-disk data using metadata (i.e., inode) that
+// typically contains name, timestamp, checksum and links ... Most of
+// these information and structures can be achieved by packet metadata if
+// allocated in a PM device. Therefore, current inode structures would be
+// simplified, and packet metadata blocks will be maintained by the file
+// system alongside inode blocks."
+//
+// Here an inode is exactly that simplification: a small PM block holding
+// the name and a link to a chain of persistent packet metadata (PPktMeta)
+// that *is* the extent list — each extent remembers its NIC checksum and
+// hardware timestamp. Writes larger than one packet become multi-element
+// chains (the GSO/TSO representation); reads for transmission emit
+// frag-backed packets without copying (sendfile-style).
+#pragma once
+
+#include <string_view>
+
+#include "container/pskiplist.h"
+#include "core/ppktmeta.h"
+
+namespace papm::core {
+
+struct PmFsOptions {
+  PChain::IngestOptions ingest;
+};
+
+class PmFs {
+ public:
+  static constexpr std::size_t kMaxName = 87;
+
+  static PmFs create(net::PktBufPool& pktpool, std::string_view name,
+                     PmFsOptions opts = PmFsOptions());
+  static Result<PmFs> recover(net::PktBufPool& pktpool, std::string_view name,
+                              PmFsOptions opts = PmFsOptions());
+
+  // Creates or replaces a file from application bytes (write(2) path).
+  Status write_file(std::string_view path, std::span<const u8> data);
+
+  // Creates or replaces a file from received packets: the §4.2 fast path
+  // where file data arrives from the network and is kept in place.
+  Status ingest_file(std::string_view path, std::span<net::PktBuf* const> pkts,
+                     std::span<const u32> offs, std::span<const u32> lens);
+
+  [[nodiscard]] Result<std::vector<u8>> read_file(std::string_view path) const;
+
+  // Zero-copy emission of the file's bytes as TX-ready packets.
+  [[nodiscard]] Result<std::vector<net::PktBuf*>> emit_pkts(
+      std::string_view path) const;
+
+  struct FileStat {
+    u64 size;
+    i64 mtime;      // NIC hardware timestamp of the newest extent write
+    u32 extents;    // chain length
+    CsumKind csum_kind;
+  };
+  [[nodiscard]] Result<FileStat> stat(std::string_view path) const;
+
+  // Integrity scrub (recompute extent checksums).
+  [[nodiscard]] Status verify(std::string_view path) const;
+
+  bool unlink(std::string_view path);
+
+  // fn(path, stat); ordered by path; early-stop on false.
+  template <typename Fn>
+  void list(Fn&& fn) const {
+    dir_.scan("", "", [&](std::string_view path, u64 inode) {
+      return fn(path, stat_of(inode));
+    });
+  }
+
+  [[nodiscard]] std::size_t file_count() const noexcept { return dir_.size(); }
+
+ private:
+  struct PInode {
+    u32 magic;
+    u32 name_len;
+    u64 size;
+    i64 mtime;
+    u64 chain;  // PPktMeta chain head; 0 for an empty file
+    char name[kMaxName + 1];
+    static constexpr u32 kMagic = 0x504d4653;  // "PMFS"
+  };
+  static_assert(sizeof(PInode) <= 128, "inode must stay compact");
+
+  PmFs(net::PktBufPool& pktpool, net::PmArena& arena,
+       container::PSkipList dir, PmFsOptions opts)
+      : chain_(arena.device(), arena.pool(), pktpool),
+        dir_(std::move(dir)),
+        opts_(opts) {}
+
+  [[nodiscard]] const PInode* inode(u64 off) const;
+  [[nodiscard]] FileStat stat_of(u64 inode_off) const;
+  Status publish(std::string_view path, u64 chain_head, u64 size, i64 mtime);
+
+  mutable PChain chain_;
+  container::PSkipList dir_;
+  PmFsOptions opts_;
+};
+
+}  // namespace papm::core

@@ -1,0 +1,232 @@
+#include "http/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstring>
+
+namespace papm::http {
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+
+void append(std::vector<u8>& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// Case-insensitive ASCII compare for header names.
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); i++) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+[[nodiscard]] std::string_view status_text(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 500: return "Internal Server Error";
+    case 507: return "Insufficient Storage";
+    default: return "Unknown";
+  }
+}
+
+// Finds "\r\n\r\n"; returns header-block length including the terminator,
+// or npos.
+std::size_t find_header_end(const std::vector<u8>& buf) {
+  if (buf.size() < 4) return std::string::npos;
+  for (std::size_t i = 0; i + 3 < buf.size(); i++) {
+    if (buf[i] == '\r' && buf[i + 1] == '\n' && buf[i + 2] == '\r' &&
+        buf[i + 3] == '\n') {
+      return i + 4;
+    }
+  }
+  return std::string::npos;
+}
+
+struct HeadLines {
+  std::string_view start_line;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::size_t content_length = 0;
+  bool ok = false;
+};
+
+HeadLines parse_head(std::string_view head) {
+  HeadLines out;
+  std::size_t pos = head.find(kCrlf);
+  if (pos == std::string_view::npos) return out;
+  out.start_line = head.substr(0, pos);
+  pos += 2;
+  while (pos < head.size()) {
+    const std::size_t eol = head.find(kCrlf, pos);
+    if (eol == std::string_view::npos || eol == pos) break;  // blank = end
+    const std::string_view line = head.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return out;
+    std::string_view name = line.substr(0, colon);
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+    if (iequals(name, "Content-Length")) {
+      std::size_t v = 0;
+      const auto [p, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), v);
+      if (ec != std::errc() || p != value.data() + value.size()) return out;
+      out.content_length = v;
+    }
+    out.headers.emplace_back(std::string(name), std::string(value));
+    pos = eol + 2;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+std::string_view Request::header(std::string_view name) const noexcept {
+  for (const auto& [n, v] : headers) {
+    if (iequals(n, name)) return v;
+  }
+  return {};
+}
+
+std::vector<u8> serialize(const Request& req) {
+  std::vector<u8> out;
+  out.reserve(128 + req.body.size());
+  append(out, to_string(req.method));
+  append(out, " ");
+  append(out, req.target);
+  append(out, " HTTP/1.1\r\n");
+  for (const auto& [n, v] : req.headers) {
+    append(out, n);
+    append(out, ": ");
+    append(out, v);
+    append(out, kCrlf);
+  }
+  append(out, "Content-Length: ");
+  append(out, std::to_string(req.body.size()));
+  append(out, kCrlf);
+  append(out, kCrlf);
+  out.insert(out.end(), req.body.begin(), req.body.end());
+  return out;
+}
+
+std::vector<u8> serialize(const Response& resp) {
+  std::vector<u8> out;
+  out.reserve(128 + resp.body.size());
+  append(out, "HTTP/1.1 ");
+  append(out, std::to_string(resp.status));
+  append(out, " ");
+  append(out, status_text(resp.status));
+  append(out, kCrlf);
+  for (const auto& [n, v] : resp.headers) {
+    append(out, n);
+    append(out, ": ");
+    append(out, v);
+    append(out, kCrlf);
+  }
+  append(out, "Content-Length: ");
+  append(out, std::to_string(resp.body.size()));
+  append(out, kCrlf);
+  append(out, kCrlf);
+  out.insert(out.end(), resp.body.begin(), resp.body.end());
+  return out;
+}
+
+std::optional<Request> RequestParser::feed(std::span<const u8> data) {
+  if (failed_) return std::nullopt;
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  return try_parse();
+}
+
+std::optional<Request> RequestParser::try_parse() {
+  const std::size_t head_len = find_header_end(buf_);
+  if (head_len == std::string::npos) return std::nullopt;
+
+  const std::string_view head(reinterpret_cast<const char*>(buf_.data()),
+                              head_len - 2);  // keep final CRLF of last header
+  HeadLines hl = parse_head(head);
+  if (!hl.ok) {
+    failed_ = true;
+    return std::nullopt;
+  }
+  if (buf_.size() < head_len + hl.content_length) return std::nullopt;
+
+  Request req;
+  // Start line: METHOD SP target SP version
+  const std::size_t sp1 = hl.start_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : hl.start_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) {
+    failed_ = true;
+    return std::nullopt;
+  }
+  const std::string_view m = hl.start_line.substr(0, sp1);
+  if (m == "GET") {
+    req.method = Method::get;
+  } else if (m == "PUT" || m == "POST") {
+    req.method = Method::put;
+  } else if (m == "DELETE") {
+    req.method = Method::del;
+  } else {
+    req.method = Method::other;
+  }
+  req.target = std::string(hl.start_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  req.headers = std::move(hl.headers);
+  req.body.assign(buf_.begin() + static_cast<long>(head_len),
+                  buf_.begin() + static_cast<long>(head_len + hl.content_length));
+  buf_.erase(buf_.begin(),
+             buf_.begin() + static_cast<long>(head_len + hl.content_length));
+  return req;
+}
+
+std::optional<Response> ResponseParser::feed(std::span<const u8> data) {
+  if (failed_) return std::nullopt;
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  return try_parse();
+}
+
+std::optional<Response> ResponseParser::try_parse() {
+  const std::size_t head_len = find_header_end(buf_);
+  if (head_len == std::string::npos) return std::nullopt;
+
+  const std::string_view head(reinterpret_cast<const char*>(buf_.data()),
+                              head_len - 2);
+  HeadLines hl = parse_head(head);
+  if (!hl.ok) {
+    failed_ = true;
+    return std::nullopt;
+  }
+  if (buf_.size() < head_len + hl.content_length) return std::nullopt;
+
+  Response resp;
+  // Status line: HTTP/1.1 SP code SP text
+  const std::size_t sp1 = hl.start_line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    failed_ = true;
+    return std::nullopt;
+  }
+  const std::string_view code = hl.start_line.substr(sp1 + 1, 3);
+  int status = 0;
+  const auto [p, ec] = std::from_chars(code.data(), code.data() + code.size(), status);
+  if (ec != std::errc() || p != code.data() + code.size()) {
+    failed_ = true;
+    return std::nullopt;
+  }
+  resp.status = status;
+  resp.headers = std::move(hl.headers);
+  resp.body.assign(buf_.begin() + static_cast<long>(head_len),
+                   buf_.begin() + static_cast<long>(head_len + hl.content_length));
+  buf_.erase(buf_.begin(),
+             buf_.begin() + static_cast<long>(head_len + hl.content_length));
+  return resp;
+}
+
+}  // namespace papm::http

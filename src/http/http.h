@@ -1,0 +1,84 @@
+// Minimal HTTP/1.1 — the request protocol of the paper's §3 methodology
+// ("The communication protocol is HTTP over TCP", wrk as the client).
+//
+// Supports exactly what the experiments need: PUT/GET/DELETE with a
+// Content-Length body over persistent connections, and an incremental
+// parser that copes with requests split across TCP segments.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace papm::http {
+
+enum class Method { get, put, del, other };
+
+[[nodiscard]] constexpr std::string_view to_string(Method m) noexcept {
+  switch (m) {
+    case Method::get: return "GET";
+    case Method::put: return "PUT";
+    case Method::del: return "DELETE";
+    case Method::other: return "OTHER";
+  }
+  return "?";
+}
+
+struct Request {
+  Method method = Method::other;
+  std::string target;  // e.g. "/kv/key17"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::vector<u8> body;
+
+  [[nodiscard]] std::string_view header(std::string_view name) const noexcept;
+};
+
+struct Response {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::vector<u8> body;
+};
+
+// Serializers. The body is appended verbatim; Content-Length is added.
+[[nodiscard]] std::vector<u8> serialize(const Request& req);
+[[nodiscard]] std::vector<u8> serialize(const Response& resp);
+
+// Incremental request parser: feed() consumes bytes; whenever a full
+// request is available it is returned (repeat feed with empty input to
+// drain pipelined requests).
+class RequestParser {
+ public:
+  // Feeds bytes; returns a completed request if one finished.
+  std::optional<Request> feed(std::span<const u8> data);
+
+  // True if a parse error occurred (connection should be reset).
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  // Bytes buffered but not yet part of a complete request.
+  [[nodiscard]] std::size_t pending() const noexcept { return buf_.size(); }
+
+ private:
+  std::optional<Request> try_parse();
+
+  std::vector<u8> buf_;
+  bool failed_ = false;
+};
+
+// Incremental response parser (client side).
+class ResponseParser {
+ public:
+  std::optional<Response> feed(std::span<const u8> data);
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+ private:
+  std::optional<Response> try_parse();
+
+  std::vector<u8> buf_;
+  bool failed_ = false;
+};
+
+}  // namespace papm::http

@@ -1,0 +1,36 @@
+// Generic segmentation offload.
+//
+// The paper's §4.2 file-system sketch relies on one packet metadata
+// describing application data larger than the MTU, "split into multiple
+// MTU-sized packets on network transmission, either by software (GSO) or
+// hardware (TSO)". A super-packet is a PktBuf whose payload spans the
+// linear area plus page-sized frags; gso_segment() materializes the
+// MTU-sized segments.
+#pragma once
+
+#include <vector>
+
+#include "net/pktbuf.h"
+
+namespace papm::net {
+
+constexpr u32 kFragPage = 4096;
+
+// Builds a super-packet: `headroom` reserved in the linear area, payload
+// spread over page frags. Returns nullptr if the arena is exhausted or
+// the payload exceeds kMaxFrags pages.
+[[nodiscard]] PktBuf* make_super(PktBufPool& pool, std::span<const u8> payload,
+                                 u32 headroom);
+
+// Reads the full (linear tail + frags) payload of a super-packet.
+[[nodiscard]] std::vector<u8> super_payload(PktBufPool& pool, PktBuf& super);
+
+// Splits into <= kMss-payload segments, each with kAllHdrLen header room,
+// ready for TcpConn::send_pkt. When `charge_copy` is true the per-byte
+// copy cost is charged (software GSO); hardware TSO passes false — the
+// NIC's DMA engine gathers the bytes. Frees nothing; caller still owns
+// `super` and the returned segments.
+[[nodiscard]] std::vector<PktBuf*> gso_segment(PktBufPool& pool, PktBuf& super,
+                                               bool charge_copy);
+
+}  // namespace papm::net

@@ -1,0 +1,139 @@
+#include "net/headers.h"
+
+#include <cstring>
+
+namespace papm::net {
+namespace {
+
+void put_u16(std::span<u8> out, std::size_t at, u16 v) {
+  out[at] = static_cast<u8>(v >> 8);
+  out[at + 1] = static_cast<u8>(v & 0xff);
+}
+void put_u32(std::span<u8> out, std::size_t at, u32 v) {
+  out[at] = static_cast<u8>(v >> 24);
+  out[at + 1] = static_cast<u8>(v >> 16);
+  out[at + 2] = static_cast<u8>(v >> 8);
+  out[at + 3] = static_cast<u8>(v & 0xff);
+}
+u16 get_u16(std::span<const u8> in, std::size_t at) {
+  return static_cast<u16>(in[at] << 8 | in[at + 1]);
+}
+u32 get_u32(std::span<const u8> in, std::size_t at) {
+  return static_cast<u32>(in[at]) << 24 | static_cast<u32>(in[at + 1]) << 16 |
+         static_cast<u32>(in[at + 2]) << 8 | in[at + 3];
+}
+
+}  // namespace
+
+std::size_t encode_eth(const EthHeader& h, std::span<u8> out) {
+  std::memcpy(out.data(), h.dst.b, 6);
+  std::memcpy(out.data() + 6, h.src.b, 6);
+  put_u16(out, 12, h.ethertype);
+  return kEthHdrLen;
+}
+
+std::size_t encode_ip(const IpHeader& h, std::span<u8> out) {
+  out[0] = 0x45;  // version 4, IHL 5
+  out[1] = 0;     // DSCP/ECN
+  put_u16(out, 2, h.total_len);
+  put_u16(out, 4, h.ident);
+  put_u16(out, 6, 0x4000);  // DF, no fragmentation
+  out[8] = h.ttl;
+  out[9] = h.protocol;
+  put_u16(out, 10, 0);  // checksum placeholder
+  put_u32(out, 12, h.src);
+  put_u32(out, 16, h.dst);
+  const u16 csum = inet_checksum(std::span<const u8>(out.data(), kIpHdrLen));
+  put_u16(out, 10, csum);
+  return kIpHdrLen;
+}
+
+std::size_t encode_tcp(const TcpHeader& h, std::span<u8> out) {
+  put_u16(out, 0, h.src_port);
+  put_u16(out, 2, h.dst_port);
+  put_u32(out, 4, h.seq);
+  put_u32(out, 8, h.ack);
+  out[12] = 0x50;  // data offset 5 words
+  out[13] = h.flags;
+  put_u16(out, 14, h.window);
+  put_u16(out, 16, h.checksum);
+  put_u16(out, 18, 0);  // urgent pointer
+  return kTcpHdrLen;
+}
+
+std::optional<EthHeader> decode_eth(std::span<const u8> in) {
+  if (in.size() < kEthHdrLen) return std::nullopt;
+  EthHeader h;
+  std::memcpy(h.dst.b, in.data(), 6);
+  std::memcpy(h.src.b, in.data() + 6, 6);
+  h.ethertype = get_u16(in, 12);
+  return h;
+}
+
+std::optional<IpHeader> decode_ip(std::span<const u8> in) {
+  if (in.size() < kIpHdrLen) return std::nullopt;
+  if ((in[0] >> 4) != 4 || (in[0] & 0x0f) != 5) return std::nullopt;
+  if (inet_fold(inet_sum(in.first(kIpHdrLen))) != 0xffff) return std::nullopt;
+  IpHeader h;
+  h.total_len = get_u16(in, 2);
+  h.ident = get_u16(in, 4);
+  h.ttl = in[8];
+  h.protocol = in[9];
+  h.checksum = get_u16(in, 10);
+  h.src = get_u32(in, 12);
+  h.dst = get_u32(in, 16);
+  if (h.total_len < kIpHdrLen || h.total_len > in.size()) return std::nullopt;
+  return h;
+}
+
+std::optional<TcpHeader> decode_tcp(std::span<const u8> in) {
+  if (in.size() < kTcpHdrLen) return std::nullopt;
+  if ((in[12] >> 4) != 5) return std::nullopt;  // options unsupported
+  TcpHeader h;
+  h.src_port = get_u16(in, 0);
+  h.dst_port = get_u16(in, 2);
+  h.seq = get_u32(in, 4);
+  h.ack = get_u32(in, 8);
+  h.flags = in[13];
+  h.window = get_u16(in, 14);
+  h.checksum = get_u16(in, 16);
+  return h;
+}
+
+u32 l4_pseudo_sum(u32 src_ip, u32 dst_ip, u8 protocol,
+                  std::size_t l4_len) noexcept {
+  u32 sum = 0;
+  sum += src_ip >> 16;
+  sum += src_ip & 0xffff;
+  sum += dst_ip >> 16;
+  sum += dst_ip & 0xffff;
+  sum += protocol;
+  sum += static_cast<u32>(l4_len);
+  return sum;
+}
+
+u16 tcp_checksum(u32 src_ip, u32 dst_ip, std::span<const u8> tcp_hdr,
+                 std::span<const u8> payload) noexcept {
+  // The TCP header length is even, so the payload block needs no swap
+  // when its sum is combined (RFC 1071 s.2(B)).
+  u32 sum = tcp_pseudo_sum(src_ip, dst_ip, tcp_hdr.size() + payload.size());
+  sum += inet_sum(tcp_hdr);
+  sum += inet_sum(payload);
+  return static_cast<u16>(~inet_fold(sum));
+}
+
+u16 payload_csum_from_complete(u32 full_sum, std::span<const u8> tcp_hdr) noexcept {
+  // full_sum covers header + payload. The Internet checksum is linear,
+  // so payload_sum = full_sum - header_sum in ones'-complement
+  // arithmetic; subtraction is addition of the complement.
+  const u16 hdr_folded = inet_fold(inet_sum(tcp_hdr));
+  const u32 payload_sum =
+      static_cast<u32>(inet_fold(full_sum)) + static_cast<u16>(~hdr_folded);
+  const u16 csum = static_cast<u16>(~inet_fold(payload_sum));
+  // Ones'-complement negative zero: normalize 0x0000 to 0xffff so the
+  // derived value is bit-identical to inet_checksum() of the payload
+  // (which yields 0xffff for all-zero data).
+  return csum == 0 ? 0xffff : csum;
+}
+
+}  // namespace papm::net

@@ -1,0 +1,99 @@
+// Ethernet / IPv4 / TCP header codecs (wire format, big-endian).
+//
+// Minimal but real: frames produced by the TX path parse back on the RX
+// path, and the TCP checksum (with IPv4 pseudo-header) is the one the
+// paper proposes to reuse as a storage integrity word.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "common/inet_csum.h"
+#include "common/types.h"
+
+namespace papm::net {
+
+constexpr std::size_t kEthHdrLen = 14;
+constexpr std::size_t kIpHdrLen = 20;   // no options
+constexpr std::size_t kTcpHdrLen = 20;  // no options
+constexpr std::size_t kAllHdrLen = kEthHdrLen + kIpHdrLen + kTcpHdrLen;
+constexpr u16 kEtherTypeIpv4 = 0x0800;
+constexpr u8 kIpProtoTcp = 6;
+constexpr std::size_t kMtu = 1500;                      // IP MTU
+constexpr std::size_t kMss = kMtu - kIpHdrLen - kTcpHdrLen;  // 1460
+
+struct MacAddr {
+  u8 b[6] = {};
+  friend bool operator==(const MacAddr&, const MacAddr&) = default;
+};
+
+struct EthHeader {
+  MacAddr dst;
+  MacAddr src;
+  u16 ethertype = kEtherTypeIpv4;
+};
+
+struct IpHeader {
+  u8 ttl = 64;
+  u8 protocol = kIpProtoTcp;
+  u16 total_len = 0;  // IP header + payload
+  u16 ident = 0;
+  u32 src = 0;
+  u32 dst = 0;
+  u16 checksum = 0;  // filled by encoder / validated by decoder
+};
+
+// TCP flag bits.
+constexpr u8 kTcpFin = 0x01;
+constexpr u8 kTcpSyn = 0x02;
+constexpr u8 kTcpRst = 0x04;
+constexpr u8 kTcpPsh = 0x08;
+constexpr u8 kTcpAck = 0x10;
+
+struct TcpHeader {
+  u16 src_port = 0;
+  u16 dst_port = 0;
+  u32 seq = 0;
+  u32 ack = 0;
+  u8 flags = 0;
+  u16 window = 0;
+  u16 checksum = 0;  // pseudo-header + header + payload
+};
+
+// --- Encoding ----------------------------------------------------------
+// Each encoder writes exactly its header length into `out` and returns
+// the bytes written. `out` must be large enough.
+std::size_t encode_eth(const EthHeader& h, std::span<u8> out);
+std::size_t encode_ip(const IpHeader& h, std::span<u8> out);   // fills checksum
+std::size_t encode_tcp(const TcpHeader& h, std::span<u8> out);  // checksum as given
+
+// --- Decoding ----------------------------------------------------------
+std::optional<EthHeader> decode_eth(std::span<const u8> in);
+std::optional<IpHeader> decode_ip(std::span<const u8> in);  // verifies checksum
+std::optional<TcpHeader> decode_tcp(std::span<const u8> in);
+
+// --- L4 checksums ---------------------------------------------------------
+// Ones'-complement sum of the IPv4 pseudo-header for an L4 segment of
+// `l4_len` bytes (header + payload).
+[[nodiscard]] u32 l4_pseudo_sum(u32 src_ip, u32 dst_ip, u8 protocol,
+                                std::size_t l4_len) noexcept;
+[[nodiscard]] inline u32 tcp_pseudo_sum(u32 src_ip, u32 dst_ip,
+                                        std::size_t tcp_len) noexcept {
+  return l4_pseudo_sum(src_ip, dst_ip, kIpProtoTcp, tcp_len);
+}
+
+// Full TCP checksum over an encoded TCP header (checksum field zeroed or
+// not — pass the raw bytes with the field zeroed) plus payload.
+[[nodiscard]] u16 tcp_checksum(u32 src_ip, u32 dst_ip, std::span<const u8> tcp_hdr,
+                               std::span<const u8> payload) noexcept;
+
+// Given a *verified* full-segment ones'-complement sum (e.g. from a NIC in
+// checksum-complete mode, covering TCP header + payload) extract the
+// payload-only Internet checksum by subtracting the header words — the
+// paper's §4.2 checksum-reuse trick, possible because the Internet
+// checksum is linear. `tcp_hdr` are the received header bytes (including
+// the nonzero checksum field).
+[[nodiscard]] u16 payload_csum_from_complete(u32 full_sum,
+                                             std::span<const u8> tcp_hdr) noexcept;
+
+}  // namespace papm::net

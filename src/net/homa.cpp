@@ -1,0 +1,278 @@
+#include "net/homa.h"
+
+#include <cstring>
+
+namespace papm::net {
+
+namespace {
+
+constexpr u64 rx_key(u64 msg_id, u32 src_ip, u16 src_port) {
+  return (msg_id << 24) ^ (static_cast<u64>(src_ip) << 8) ^ src_port;
+}
+
+struct WireHomaHdr {
+  u8 type;
+  u64 msg_id;
+  u32 offset;
+  u32 total_len;
+  u32 grant;
+};
+
+void encode_homa(const WireHomaHdr& h, std::span<u8> out) {
+  std::memset(out.data(), 0, kHomaHdrLen);
+  out[0] = h.type;
+  std::memcpy(out.data() + 4, &h.msg_id, 8);
+  std::memcpy(out.data() + 12, &h.offset, 4);
+  std::memcpy(out.data() + 16, &h.total_len, 4);
+  std::memcpy(out.data() + 20, &h.grant, 4);
+}
+
+std::optional<WireHomaHdr> decode_homa(std::span<const u8> in) {
+  if (in.size() < kHomaHdrLen) return std::nullopt;
+  WireHomaHdr h;
+  h.type = in[0];
+  std::memcpy(&h.msg_id, in.data() + 4, 8);
+  std::memcpy(&h.offset, in.data() + 12, 4);
+  std::memcpy(&h.total_len, in.data() + 16, 4);
+  std::memcpy(&h.grant, in.data() + 20, 4);
+  return h;
+}
+
+}  // namespace
+
+std::vector<u8> HomaDelivery::bytes(PktBufPool& pool) const {
+  std::vector<u8> out;
+  out.reserve(total_len);
+  for (std::size_t i = 0; i < pkts.size(); i++) {
+    const u8* base = pool.data(*pkts[i]);
+    out.insert(out.end(), base + offs[i], base + offs[i] + lens[i]);
+  }
+  return out;
+}
+
+HomaEndpoint::HomaEndpoint(UdpStack& udp, u16 port, Options opts)
+    : udp_(udp), port_(port), opts_(opts) {
+  const Status st = udp_.bind(
+      port, [this](u32 ip, u16 sport, PktBuf* pb) { rx(ip, sport, pb); });
+  if (!st.ok()) throw std::runtime_error("HomaEndpoint: port taken");
+}
+
+void HomaEndpoint::charge_proc() {
+  udp_.env().clock().advance(udp_.env().cost.homa_proc_ns);
+}
+
+u64 HomaEndpoint::send_msg(u32 dst_ip, u16 dst_port, std::span<const u8> data) {
+  const u64 id = next_msg_id_++;
+  TxMsg m;
+  m.dst_ip = dst_ip;
+  m.dst_port = dst_port;
+  m.data.assign(data.begin(), data.end());
+  m.granted = std::min<u64>(
+      data.size(), static_cast<u64>(opts_.unscheduled_segs) * kHomaSegPayload);
+  m.sent = 0;
+  m.done = false;
+  m.retries = 0;
+  m.timer_gen = 0;
+  auto [it, inserted] = tx_.emplace(id, std::move(m));
+  tx_from(it->second, id, it->second.granted);
+  arm_tx_timer(id, it->second);
+  msgs_tx_++;
+  return id;
+}
+
+void HomaEndpoint::tx_from(TxMsg& m, u64 msg_id, u64 upto) {
+  upto = std::min<u64>(upto, m.data.size());
+  while (m.sent < upto || (m.data.empty() && m.sent == 0)) {
+    const u32 off = static_cast<u32>(m.sent);
+    const u32 len = static_cast<u32>(
+        std::min<u64>(kHomaSegPayload, m.data.size() - m.sent));
+    charge_proc();
+    std::vector<u8> payload(kHomaHdrLen + len);
+    WireHomaHdr h{static_cast<u8>(HomaPktType::data), msg_id, off,
+                  static_cast<u32>(m.data.size()), 0};
+    encode_homa(h, payload);
+    if (len > 0) std::memcpy(payload.data() + kHomaHdrLen, m.data.data() + off, len);
+    (void)udp_.send_to(m.dst_ip, m.dst_port, port_, payload);
+    m.sent += len;
+    if (m.data.empty()) break;  // zero-length message: one bare segment
+  }
+}
+
+void HomaEndpoint::send_ctl(u32 dst_ip, u16 dst_port, HomaPktType type,
+                            u64 msg_id, u32 offset, u32 total, u32 grant) {
+  charge_proc();
+  std::vector<u8> payload(kHomaHdrLen);
+  encode_homa({static_cast<u8>(type), msg_id, offset, total, grant}, payload);
+  (void)udp_.send_to(dst_ip, dst_port, port_, payload);
+}
+
+void HomaEndpoint::arm_tx_timer(u64 msg_id, TxMsg& m) {
+  const u64 gen = ++m.timer_gen;
+  udp_.env().engine.schedule_in(opts_.sender_timeout_ns, [this, msg_id, gen] {
+    auto it = tx_.find(msg_id);
+    if (it == tx_.end() || it->second.timer_gen != gen || it->second.done) {
+      return;
+    }
+    TxMsg& m2 = it->second;
+    if (++m2.retries > opts_.max_retries) {
+      tx_.erase(it);  // give up; the message is lost
+      return;
+    }
+    // No grant/ack progress: replay everything granted so far.
+    resends_++;
+    m2.sent = 0;
+    tx_from(m2, msg_id, m2.granted);
+    arm_tx_timer(msg_id, m2);
+  });
+}
+
+void HomaEndpoint::arm_rx_timer(u64 key, RxMsg& m) {
+  const u64 gen = ++m.timer_gen;
+  udp_.env().engine.schedule_in(opts_.resend_timeout_ns, [this, key, gen] {
+    auto it = rx_.find(key);
+    if (it == rx_.end() || it->second.timer_gen != gen) return;
+    RxMsg& m2 = it->second;
+    if (++m2.nudges > opts_.max_retries) {
+      for (auto& [off, pb] : m2.segs) udp_.pool().free(pb);
+      rx_.erase(it);
+      return;
+    }
+    // Find the first gap and ask for it again.
+    u32 expect = 0;
+    for (const auto& [off, pb] : m2.segs) {
+      if (off != expect) break;
+      expect = off + static_cast<u32>(pb->payload_len() - kHomaHdrLen);
+    }
+    resends_++;
+    send_ctl(m2.src_ip, m2.src_port, HomaPktType::resend, m2.msg_id, expect,
+             static_cast<u32>(m2.total_len),
+             static_cast<u32>(m2.granted));
+    arm_rx_timer(key, it->second);
+  });
+}
+
+void HomaEndpoint::rx(u32 src_ip, u16 src_port, PktBuf* pb) {
+  charge_proc();
+  const auto payload = udp_.pool().payload(*pb);
+  const auto h = decode_homa(payload);
+  if (!h.has_value()) {
+    udp_.pool().free(pb);
+    return;
+  }
+  switch (static_cast<HomaPktType>(h->type)) {
+    case HomaPktType::data:
+      rx_data(src_ip, src_port, pb, h->msg_id, h->offset, h->total_len);
+      return;
+
+    case HomaPktType::grant: {
+      auto it = tx_.find(h->msg_id);
+      if (it != tx_.end() && !it->second.done) {
+        TxMsg& m = it->second;
+        m.granted = std::max<u64>(m.granted, h->grant);
+        tx_from(m, h->msg_id, m.granted);
+        arm_tx_timer(h->msg_id, m);
+      }
+      udp_.pool().free(pb);
+      return;
+    }
+
+    case HomaPktType::resend: {
+      auto it = tx_.find(h->msg_id);
+      if (it != tx_.end() && !it->second.done) {
+        TxMsg& m = it->second;
+        resends_++;
+        m.sent = std::min<u64>(m.sent, h->offset);  // rewind to the gap
+        tx_from(m, h->msg_id, std::max<u64>(m.granted, h->grant));
+        arm_tx_timer(h->msg_id, m);
+      }
+      udp_.pool().free(pb);
+      return;
+    }
+
+    case HomaPktType::ack: {
+      auto it = tx_.find(h->msg_id);
+      if (it != tx_.end()) {
+        it->second.done = true;
+        it->second.timer_gen++;
+        tx_.erase(it);
+        if (on_sent) on_sent(h->msg_id);
+      }
+      udp_.pool().free(pb);
+      return;
+    }
+  }
+  udp_.pool().free(pb);
+}
+
+void HomaEndpoint::rx_data(u32 src_ip, u16 src_port, PktBuf* pb, u64 msg_id,
+                           u32 offset, u32 total_len) {
+  const u64 key = rx_key(msg_id, src_ip, src_port);
+  if (delivered_.contains(key)) {
+    // Already delivered; the sender missed our ACK. Re-ack, drop.
+    udp_.pool().free(pb);
+    send_ctl(src_ip, src_port, HomaPktType::ack, msg_id, 0, total_len, 0);
+    return;
+  }
+  auto [it, inserted] = rx_.try_emplace(key);
+  RxMsg& m = it->second;
+  if (inserted) {
+    m.src_ip = src_ip;
+    m.src_port = src_port;
+    m.msg_id = msg_id;
+    m.total_len = total_len;
+    m.granted = std::min<u64>(
+        total_len, static_cast<u64>(opts_.unscheduled_segs) * kHomaSegPayload);
+  }
+  const u32 seg_len = static_cast<u32>(pb->payload_len() - kHomaHdrLen);
+  if (m.segs.contains(offset)) {
+    udp_.pool().free(pb);  // duplicate
+  } else {
+    m.segs.emplace(offset, pb);
+    m.received += seg_len;
+  }
+
+  if (m.received >= m.total_len) {
+    // Complete: ack the sender and deliver the packets.
+    send_ctl(src_ip, src_port, HomaPktType::ack, msg_id, 0,
+             static_cast<u32>(m.total_len), 0);
+    m.timer_gen++;  // cancel the resend timer
+    delivered_.insert(key);
+    RxMsg done = std::move(m);
+    rx_.erase(it);
+    deliver(msg_id, std::move(done));
+    return;
+  }
+
+  // Grant more: keep grant_window_segs of runway past what has arrived.
+  const u64 target = std::min<u64>(
+      m.total_len,
+      m.received + static_cast<u64>(opts_.grant_window_segs) * kHomaSegPayload);
+  if (target > m.granted) {
+    m.granted = target;
+    grants_tx_++;
+    send_ctl(src_ip, src_port, HomaPktType::grant, msg_id, 0,
+             static_cast<u32>(m.total_len), static_cast<u32>(target));
+  }
+  arm_rx_timer(key, m);
+}
+
+void HomaEndpoint::deliver(u64 msg_id, RxMsg&& m) {
+  msgs_rx_++;
+  HomaDelivery d;
+  d.src_ip = m.src_ip;
+  d.src_port = m.src_port;
+  d.msg_id = msg_id;
+  d.total_len = m.total_len;
+  for (auto& [off, pb] : m.segs) {
+    d.pkts.push_back(pb);
+    d.offs.push_back(static_cast<u32>(pb->payload_off + kHomaHdrLen));
+    d.lens.push_back(static_cast<u32>(pb->payload_len() - kHomaHdrLen));
+  }
+  if (on_message) {
+    on_message(std::move(d));
+  } else {
+    for (auto* pb : d.pkts) udp_.pool().free(pb);
+  }
+}
+
+}  // namespace papm::net

@@ -1,0 +1,117 @@
+#include "net/pktbuf.h"
+
+#include <cassert>
+
+namespace papm::net {
+
+// --- HeapArena -------------------------------------------------------------
+
+Result<u64> HeapArena::alloc(u64 size) {
+  env_->clock().advance(env_->cost.pool_alloc_ns);
+  const u64 h = next_handle_++;
+  blocks_.emplace(h, std::vector<u8>(size));
+  return h;
+}
+
+void HeapArena::free(u64 handle, u64 /*size*/) {
+  env_->clock().advance(env_->cost.pool_alloc_ns / 2);
+  blocks_.erase(handle);
+}
+
+u8* HeapArena::data(u64 handle, u64 len) {
+  auto it = blocks_.find(handle);
+  if (it == blocks_.end() || len > it->second.size()) {
+    throw std::out_of_range("HeapArena: bad handle or length");
+  }
+  return it->second.data();
+}
+
+// --- PktBufPool --------------------------------------------------------------
+
+PktBuf* PktBufPool::alloc(u32 data_cap) {
+  auto dh = arena_->alloc(data_cap);
+  if (!dh.ok()) return nullptr;
+
+  PktBuf* pb;
+  if (!free_meta_.empty()) {
+    pb = free_meta_.back();
+    free_meta_.pop_back();
+  } else {
+    slab_.emplace_back();
+    pb = &slab_.back();
+  }
+  *pb = PktBuf{};
+  pb->data_h = dh.value();
+  pb->cap = data_cap;
+  pb->in_use = true;
+  pb->tstamp = env_->now();
+  ref_data(pb->data_h);
+  live_meta_++;
+  return pb;
+}
+
+PktBuf* PktBufPool::clone(const PktBuf& pb) {
+  assert(pb.in_use);
+  env_->clock().advance(env_->cost.pool_alloc_ns);  // metadata-only alloc
+  PktBuf* c;
+  if (!free_meta_.empty()) {
+    c = free_meta_.back();
+    free_meta_.pop_back();
+  } else {
+    slab_.emplace_back();
+    c = &slab_.back();
+  }
+  *c = pb;  // copy all metadata fields
+  c->next = c->prev = nullptr;
+  c->rb = container::RbHook{};
+  c->in_use = true;
+  ref_data(c->data_h);
+  for (int i = 0; i < c->nr_frags; i++) ref_data(c->frags[i].data_h);
+  live_meta_++;
+  return c;
+}
+
+void PktBufPool::free(PktBuf* pb) {
+  if (pb == nullptr) return;
+  assert(pb->in_use);
+  if (unref(pb->data_h)) arena_->free(pb->data_h, pb->cap);
+  for (int i = 0; i < pb->nr_frags; i++) {
+    if (unref(pb->frags[i].data_h)) {
+      arena_->free(pb->frags[i].data_h, pb->frags[i].cap);
+    }
+  }
+  pb->in_use = false;
+  free_meta_.push_back(pb);
+  live_meta_--;
+}
+
+u64 PktBufPool::adopt_data(PktBuf& pb) {
+  assert(pb.in_use);
+  ref_data(pb.data_h);
+  return pb.data_h;
+}
+
+void PktBufPool::unref_data(u64 data_h, u32 cap) {
+  if (unref(data_h)) arena_->free(data_h, cap);
+}
+
+Status PktBufPool::add_frag(PktBuf& pb, u64 data_h, u32 len, u32 off, u32 cap) {
+  if (pb.nr_frags >= PktBuf::kMaxFrags) return Errc::out_of_space;
+  pb.frags[pb.nr_frags++] = {data_h, off, len, cap != 0 ? cap : off + len};
+  ref_data(data_h);
+  return Errc::ok;
+}
+
+void PktBufPool::ref_data(u64 handle) { data_refs_[handle]++; }
+
+bool PktBufPool::unref(u64 handle) {
+  auto it = data_refs_.find(handle);
+  assert(it != data_refs_.end());
+  if (--it->second == 0) {
+    data_refs_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace papm::net

@@ -1,0 +1,230 @@
+// Packet metadata and buffer pools — the sk_buff analogue (paper Fig. 3).
+//
+// A PktBuf carries exactly the metadata the paper argues storage stacks
+// should reuse:
+//   * next/prev linkage and an rbtree hook (socket queues, the TCP
+//     out-of-order tree);
+//   * software and NIC-hardware timestamps;
+//   * the wire TCP checksum and a derived payload-only checksum
+//     (NIC checksum-complete offload, §4.2 checksum reuse);
+//   * head/data offsets locating the protocol headers and payload in the
+//     linear buffer;
+//   * metadata and data reference counts with kernel-style clone
+//     semantics: a clone shares the immutable packet data (retransmission
+//     queues hold clones; the paper relies on this to share data between
+//     the network and storage stacks);
+//   * frags: additional data areas letting one metadata describe data
+//     larger than the MTU (GSO/TSO, §4.2 file-system sketch).
+//
+// Buffers come from a BufArena. HeapArena models ordinary kernel packet
+// memory (DRAM); PmArena places packet data in a PM device — the PASTE
+// property that makes received payloads persistable in place.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "container/rbtree.h"
+#include "net/headers.h"
+#include "pm/pm_device.h"
+#include "pm/pm_pool.h"
+#include "sim/env.h"
+
+namespace papm::net {
+
+// --- Buffer arenas ------------------------------------------------------
+
+class BufArena {
+ public:
+  virtual ~BufArena() = default;
+
+  // Allocates `size` bytes; returns an opaque handle.
+  [[nodiscard]] virtual Result<u64> alloc(u64 size) = 0;
+  virtual void free(u64 handle, u64 size) = 0;
+
+  // Resolves a handle to memory. Raw pointers must not be held across a
+  // PM crash.
+  [[nodiscard]] virtual u8* data(u64 handle, u64 len) = 0;
+
+  // True when buffers live in persistent memory (PASTE-style).
+  [[nodiscard]] virtual bool persistent() const noexcept = 0;
+
+  // Persistence hooks; no-ops for DRAM arenas.
+  virtual void mark_dirty(u64 /*handle*/, u64 /*len*/) {}
+  virtual void persist(u64 /*handle*/, u64 /*len*/) {}
+};
+
+// DRAM-backed arena: the ordinary kernel packet allocator.
+class HeapArena final : public BufArena {
+ public:
+  explicit HeapArena(sim::Env& env) : env_(&env) {}
+
+  [[nodiscard]] Result<u64> alloc(u64 size) override;
+  void free(u64 handle, u64 size) override;
+  [[nodiscard]] u8* data(u64 handle, u64 len) override;
+  [[nodiscard]] bool persistent() const noexcept override { return false; }
+
+ private:
+  sim::Env* env_;
+  u64 next_handle_ = 1;
+  std::unordered_map<u64, std::vector<u8>> blocks_;
+};
+
+// PM-backed arena: packet data (and, in pktstore, metadata) allocated
+// from a persistent pool. Handles are PM byte offsets, stable across
+// crashes.
+class PmArena final : public BufArena {
+ public:
+  PmArena(pm::PmDevice& dev, pm::PmPool& pool) : dev_(&dev), pool_(&pool) {}
+
+  [[nodiscard]] Result<u64> alloc(u64 size) override { return pool_->alloc(size); }
+  void free(u64 handle, u64 size) override { pool_->free(handle, size); }
+  [[nodiscard]] u8* data(u64 handle, u64 len) override {
+    return dev_->at(handle, len);
+  }
+  [[nodiscard]] bool persistent() const noexcept override { return true; }
+  void mark_dirty(u64 handle, u64 len) override { dev_->mark_dirty(handle, len); }
+  void persist(u64 handle, u64 len) override { dev_->persist(handle, len); }
+
+  [[nodiscard]] pm::PmDevice& device() noexcept { return *dev_; }
+  [[nodiscard]] pm::PmPool& pool() noexcept { return *pool_; }
+
+ private:
+  pm::PmDevice* dev_;
+  pm::PmPool* pool_;
+};
+
+// --- Packet metadata ------------------------------------------------------
+
+struct PktBuf {
+  static constexpr int kMaxFrags = 4;
+
+  struct Frag {
+    u64 data_h = 0;
+    u32 off = 0;  // start of the fragment's bytes within the block
+    u32 len = 0;
+    u32 cap = 0;  // allocation size of the block (for freeing)
+  };
+
+  // Linkage.
+  PktBuf* next = nullptr;
+  PktBuf* prev = nullptr;
+  container::RbHook rb{};  // TCP out-of-order tree hook
+  u32 rb_key = 0;          // tree key (TCP sequence number)
+
+  // Timestamps.
+  SimTime tstamp = 0;     // stack (software) timestamp
+  SimTime hw_tstamp = 0;  // NIC hardware timestamp (0 = none)
+
+  // Checksums.
+  u16 wire_csum = 0;       // TCP checksum as carried on the wire
+  u16 payload_csum = 0;    // payload-only Internet checksum (derived)
+  bool csum_verified = false;
+
+  // Parsed header views: offsets into the linear buffer, plus decoded
+  // copies for cheap access. For UDP datagrams `tcp` carries only the
+  // port and checksum fields (the L4 view); l4_proto disambiguates.
+  u16 l2_off = 0;
+  u16 l3_off = 0;
+  u16 l4_off = 0;
+  u16 payload_off = 0;
+  u8 l4_proto = kIpProtoTcp;
+  IpHeader ip{};
+  TcpHeader tcp{};
+
+  // Linear data area.
+  u64 data_h = 0;
+  u32 cap = 0;  // allocation size
+  u32 len = 0;  // used bytes
+
+  // Fragments (GSO super-packets).
+  Frag frags[kMaxFrags]{};
+  u8 nr_frags = 0;
+
+  [[nodiscard]] u32 payload_len() const noexcept { return len - payload_off; }
+  // Payload including frag bytes (TX scatter-gather packets).
+  [[nodiscard]] u64 payload_total() const noexcept {
+    return total_len() - payload_off;
+  }
+  [[nodiscard]] u64 total_len() const noexcept {
+    u64 t = len;
+    for (int i = 0; i < nr_frags; i++) t += frags[i].len;
+    return t;
+  }
+
+  // Pool bookkeeping (private to PktBufPool).
+  bool in_use = false;
+};
+
+// --- Metadata pool with clone semantics -----------------------------------
+
+class PktBufPool {
+ public:
+  PktBufPool(sim::Env& env, BufArena& arena) : env_(&env), arena_(&arena) {}
+
+  PktBufPool(const PktBufPool&) = delete;
+  PktBufPool& operator=(const PktBufPool&) = delete;
+
+  // Allocates metadata plus a linear buffer of `data_cap` bytes.
+  // Returns nullptr when the arena is exhausted.
+  [[nodiscard]] PktBuf* alloc(u32 data_cap);
+
+  // Kernel-style clone: new metadata sharing the same (refcounted) data.
+  // The TCP retransmission queue holds clones so lower layers may release
+  // their metadata while the data stays intact (paper §4.1).
+  [[nodiscard]] PktBuf* clone(const PktBuf& pb);
+
+  // Releases metadata; the linear buffer and frags are freed when their
+  // last reference (clone or adopted handle) drops.
+  void free(PktBuf* pb);
+
+  // Adopt the packet's linear data: takes an extra reference on the data
+  // so it outlives all metadata. Used by pktstore to keep payload bytes
+  // in place (§4.2 zero-copy ingest). Pair with unref_data().
+  [[nodiscard]] u64 adopt_data(PktBuf& pb);
+  void unref_data(u64 data_h, u32 cap);
+
+  // Attaches an arena block as a refcounted frag of `pb` (super-packets,
+  // zero-copy emission of stored data). `off` selects a byte range within
+  // the block.
+  Status add_frag(PktBuf& pb, u64 data_h, u32 len, u32 off = 0,
+                  u32 cap = 0 /* 0 = off + len */);
+
+  // Re-registers a data handle that survived a crash (PM blocks owned by
+  // a recovered store): gives it one reference so unref_data() works
+  // uniformly afterwards.
+  void restore_ref(u64 data_h) { ref_data(data_h); }
+
+  // Resolves the linear buffer.
+  [[nodiscard]] u8* data(PktBuf& pb) { return arena_->data(pb.data_h, pb.len); }
+  [[nodiscard]] std::span<u8> writable(PktBuf& pb, u32 len) {
+    return {arena_->data(pb.data_h, len), len};
+  }
+  [[nodiscard]] std::span<const u8> payload(PktBuf& pb) {
+    return {arena_->data(pb.data_h, pb.len) + pb.payload_off, pb.payload_len()};
+  }
+
+  [[nodiscard]] BufArena& arena() noexcept { return *arena_; }
+  [[nodiscard]] sim::Env& env() noexcept { return *env_; }
+
+  // Introspection for tests/benches.
+  [[nodiscard]] std::size_t live_metadata() const noexcept { return live_meta_; }
+  [[nodiscard]] std::size_t live_data_blocks() const noexcept {
+    return data_refs_.size();
+  }
+
+ private:
+  void ref_data(u64 handle);
+  bool unref(u64 handle);  // returns true when the count hit zero
+
+  sim::Env* env_;
+  BufArena* arena_;
+  std::deque<PktBuf> slab_;
+  std::vector<PktBuf*> free_meta_;
+  std::unordered_map<u64, u32> data_refs_;
+  std::size_t live_meta_ = 0;
+};
+
+}  // namespace papm::net

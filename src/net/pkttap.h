@@ -1,0 +1,81 @@
+// Packet tap — the §4.1 multi-consumer exhibit.
+//
+// "[Host network stacks share] the packets between multiple consumers,
+// such as receiver application and packet capture pseudo device." The
+// clone mechanism makes this free of copies: the tap holds clones whose
+// refcounts keep the data alive while the application (or a storage
+// stack that adopted the buffers) proceeds independently.
+//
+// Wire it between the NIC and the stack:
+//   tap.attach(nic, [stack](PktBuf* pb){ stack.rx(pb); });
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "net/pktbuf.h"
+
+namespace papm::net {
+
+class PktTap {
+ public:
+  struct Captured {
+    PktBuf* clone;    // shares data with the original packet
+    SimTime at;       // capture timestamp
+  };
+
+  // `pool` must be the pool the tapped packets come from.
+  PktTap(PktBufPool& pool, std::size_t capacity)
+      : pool_(&pool), capacity_(capacity) {}
+
+  ~PktTap() { clear(); }
+  PktTap(const PktTap&) = delete;
+  PktTap& operator=(const PktTap&) = delete;
+
+  // Observes a packet on its way to `next`: clones it into the capture
+  // ring (evicting the oldest beyond capacity) and passes the original
+  // through untouched.
+  void tap(PktBuf* pb, const std::function<void(PktBuf*)>& next) {
+    if (enabled_) {
+      PktBuf* c = pool_->clone(*pb);
+      ring_.push_back({c, pool_->env().now()});
+      captured_++;
+      if (ring_.size() > capacity_) {
+        pool_->free(ring_.front().clone);
+        ring_.pop_front();
+        evicted_++;
+      }
+    }
+    next(pb);
+  }
+
+  // Iterates the capture ring oldest-first; fn(Captured) returns false to
+  // stop. Payload via pool().payload(*c.clone).
+  template <typename Fn>
+  void each(Fn&& fn) const {
+    for (const auto& c : ring_) {
+      if (!fn(c)) return;
+    }
+  }
+
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  [[nodiscard]] u64 captured() const noexcept { return captured_; }
+  [[nodiscard]] u64 evicted() const noexcept { return evicted_; }
+  [[nodiscard]] PktBufPool& pool() noexcept { return *pool_; }
+
+  void clear() {
+    for (auto& c : ring_) pool_->free(c.clone);
+    ring_.clear();
+  }
+
+ private:
+  PktBufPool* pool_;
+  std::size_t capacity_;
+  std::deque<Captured> ring_;
+  bool enabled_ = true;
+  u64 captured_ = 0;
+  u64 evicted_ = 0;
+};
+
+}  // namespace papm::net

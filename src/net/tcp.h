@@ -1,0 +1,286 @@
+// From-scratch TCP over PktBuf metadata.
+//
+// Implements the stack features the paper's argument rests on (§4.1):
+//   * reliable delivery with cumulative ACKs, RTO (RFC 6298 estimation)
+//     and fast retransmit on three duplicate ACKs;
+//   * a retransmission queue of *clones* — data stays intact until
+//     acknowledged while lower layers release their metadata;
+//   * out-of-order reassembly in an intrusive red-black tree of PktBufs,
+//     the very structure §4.1 points to;
+//   * checksum production/verification, offloadable to the NIC, with the
+//     payload-only checksum preserved in the packet metadata;
+//   * a zero-copy receive path (read_pkts) handing whole PktBufs —
+//     metadata, checksums, timestamps — to the application, the PASTE
+//     interface the proposal builds on; plus the classic copying read().
+//
+// Connections run over a NetIf (implemented by nic::Nic) and consume
+// host CPU through the cost model's per-segment stack charges.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "container/rbtree.h"
+#include "net/headers.h"
+#include "net/pktbuf.h"
+#include "sim/cpu.h"
+
+namespace papm::net {
+
+// Lower-layer interface the stack transmits through (the NIC).
+class NetIf {
+ public:
+  virtual ~NetIf() = default;
+  // Takes ownership of the packet (frees it after serialization).
+  virtual void transmit(PktBuf* pb) = 0;
+  [[nodiscard]] virtual MacAddr mac() const noexcept = 0;
+};
+
+// Sequence-number arithmetic (wrap-safe).
+[[nodiscard]] constexpr bool seq_lt(u32 a, u32 b) noexcept {
+  return static_cast<i32>(a - b) < 0;
+}
+[[nodiscard]] constexpr bool seq_le(u32 a, u32 b) noexcept {
+  return static_cast<i32>(a - b) <= 0;
+}
+[[nodiscard]] constexpr bool seq_gt(u32 a, u32 b) noexcept {
+  return static_cast<i32>(a - b) > 0;
+}
+[[nodiscard]] constexpr bool seq_ge(u32 a, u32 b) noexcept {
+  return static_cast<i32>(a - b) >= 0;
+}
+
+enum class TcpState {
+  closed,
+  listen,
+  syn_sent,
+  syn_rcvd,
+  established,
+  fin_wait_1,
+  fin_wait_2,
+  close_wait,
+  last_ack,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TcpState s) noexcept {
+  switch (s) {
+    case TcpState::closed: return "closed";
+    case TcpState::listen: return "listen";
+    case TcpState::syn_sent: return "syn_sent";
+    case TcpState::syn_rcvd: return "syn_rcvd";
+    case TcpState::established: return "established";
+    case TcpState::fin_wait_1: return "fin_wait_1";
+    case TcpState::fin_wait_2: return "fin_wait_2";
+    case TcpState::close_wait: return "close_wait";
+    case TcpState::last_ack: return "last_ack";
+  }
+  return "?";
+}
+
+class TcpStack;
+
+class TcpConn {
+ public:
+  // Application event hooks.
+  std::function<void(TcpConn&)> on_established;
+  std::function<void(TcpConn&)> on_readable;
+  std::function<void(TcpConn&)> on_closed;
+
+  [[nodiscard]] TcpState state() const noexcept { return state_; }
+  [[nodiscard]] u32 peer_ip() const noexcept { return peer_ip_; }
+  [[nodiscard]] u16 peer_port() const noexcept { return peer_port_; }
+  [[nodiscard]] u16 local_port() const noexcept { return local_port_; }
+
+  // Queues application bytes for transmission (copies into the send
+  // buffer, charging the copy — the classic socket write path).
+  Status send(std::span<const u8> data);
+
+  // Zero-copy transmit: the stack takes ownership of a fully payload-
+  // bearing PktBuf whose data is already in the host arena (PASTE-style
+  // TX; pktstore uses this to emit stored packets without copies).
+  Status send_pkt(PktBuf* pb);
+
+  // Copying read: drains up to out.size() in-order payload bytes.
+  std::size_t read(std::span<u8> out);
+
+  // Zero-copy read: transfers ownership of the queued payload-bearing
+  // packets (payload via pool().payload(*pb)). Caller frees them.
+  std::vector<PktBuf*> read_pkts();
+
+  [[nodiscard]] std::size_t readable_bytes() const noexcept { return rcv_queued_; }
+
+  // Graceful close (FIN). on_closed fires when the conn reaches closed.
+  void close();
+
+  // Introspection for tests.
+  [[nodiscard]] std::size_t ooo_queued() const noexcept { return ooo_tree_.size(); }
+  [[nodiscard]] std::size_t rtx_queued() const noexcept { return rtx_q_.size(); }
+  [[nodiscard]] u64 retransmits() const noexcept { return retransmits_; }
+  [[nodiscard]] u32 cwnd() const noexcept { return cwnd_; }
+  [[nodiscard]] SimTime srtt() const noexcept { return srtt_; }
+
+ private:
+  friend class TcpStack;
+
+  TcpConn(TcpStack& stack, u32 local_ip, u16 local_port, u32 peer_ip,
+          u16 peer_port);
+
+  // Segment arrival (stack already charged per-segment RX cost).
+  void rx(PktBuf* pb);
+
+  void rx_listen_syn(PktBuf* pb);
+  void process_ack(const TcpHeader& h);
+  void rx_data(PktBuf* pb);
+  void deliver_in_order();
+  void try_send();
+  void send_segment(u8 flags, u32 seq, std::span<const u8> payload,
+                    bool queue_rtx);
+  void send_ctl(u8 flags);  // pure control segment at snd_nxt
+  void enter_established();
+  void arm_rto();
+  void on_rto();
+  void update_rtt(SimTime sample);
+  void maybe_send_pending_ack();
+  void become_closed();
+
+  TcpStack& stack_;
+  TcpState state_ = TcpState::closed;
+  u32 local_ip_, peer_ip_;
+  u16 local_port_, peer_port_;
+  std::function<void(TcpConn&)> acceptor_cb_;  // listener's accept hook
+
+  // Send state.
+  u32 iss_ = 0;
+  u32 snd_una_ = 0;
+  u32 snd_nxt_ = 0;
+  u32 snd_wnd_ = 0;   // peer-advertised
+  u32 cwnd_ = 0;
+  u32 ssthresh_ = 0;
+  u32 dup_acks_ = 0;
+  bool fin_queued_ = false;
+  bool fin_sent_ = false;
+  std::deque<u8> snd_buf_;  // unsent bytes; snd_nxt_ marks the boundary
+  u32 snd_buf_seq_ = 0;     // seq of snd_buf_.front()
+
+  struct RtxEntry {
+    PktBuf* clone;  // holds the data alive until acked
+    u32 seq;
+    u32 len;  // payload length (FIN counts as 1 virtual byte, len 0)
+    u8 flags;
+    SimTime sent_at;
+    bool retransmitted;
+  };
+  std::deque<RtxEntry> rtx_q_;
+
+  // Receive state.
+  u32 irs_ = 0;
+  u32 rcv_nxt_ = 0;
+  bool fin_received_ = false;
+  u32 fin_seq_ = 0;
+  std::deque<PktBuf*> rcv_q_;  // in-order payload-bearing packets
+  std::size_t rcv_queued_ = 0;
+  std::size_t rcv_consumed_front_ = 0;  // partially read() bytes of front pkt
+  container::RbTree<PktBuf, u32, &PktBuf::rb, &PktBuf::rb_key> ooo_tree_;
+
+  // RTT / RTO (RFC 6298).
+  SimTime srtt_ = 0;
+  SimTime rttvar_ = 0;
+  // Initial RTO: 1 ms (RFC 6298's 1 s, scaled to datacenter RTTs). Must
+  // exceed self-inflicted queueing delay at full window or zero-loss
+  // transfers suffer spurious timeouts.
+  SimTime rto_ = 1 * kNsPerMs;
+  u64 rto_generation_ = 0;
+  bool rto_armed_ = false;
+
+  bool ack_pending_ = false;
+  u64 retransmits_ = 0;
+};
+
+class TcpStack {
+ public:
+  struct Options {
+    u32 ip = 0;
+    // Busy-polling PASTE-style host (server) vs interrupt-driven kernel
+    // host (client): selects the per-segment stack charges.
+    bool busy_poll = false;
+    bool csum_offload_tx = true;  // NIC fills the TCP checksum
+    bool csum_offload_rx = true;  // NIC verifies + provides csum-complete
+    u32 rcv_buf = 1 << 20;        // receive buffer bytes (window basis)
+    u16 ephemeral_base = 33000;
+  };
+
+  TcpStack(sim::Env& env, NetIf& netif, PktBufPool& pool, Options opts);
+
+  // Active open. The returned connection is owned by the stack.
+  TcpConn* connect(u32 dst_ip, u16 dst_port);
+
+  // Passive open: on_accept fires with each new established connection.
+  Status listen(u16 port, std::function<void(TcpConn&)> on_accept);
+
+  // Entry from the NIC. Takes ownership of the packet. Wraps all
+  // processing (stack + application callbacks) in the host CPU.
+  void rx(PktBuf* pb);
+
+  // Host CPU used for timer callbacks and rx processing; defaults to an
+  // unlimited-cores CPU owned by the stack.
+  void attach_cpu(sim::HostCpu& cpu) noexcept { cpu_ = &cpu; }
+  [[nodiscard]] sim::HostCpu& cpu() noexcept { return *cpu_; }
+
+  [[nodiscard]] PktBufPool& pool() noexcept { return pool_; }
+  [[nodiscard]] sim::Env& env() noexcept { return env_; }
+  [[nodiscard]] const Options& options() const noexcept { return opts_; }
+  [[nodiscard]] u32 ip() const noexcept { return opts_.ip; }
+
+  // Stats.
+  [[nodiscard]] u64 segments_rx() const noexcept { return segments_rx_; }
+  [[nodiscard]] u64 segments_tx() const noexcept { return segments_tx_; }
+  [[nodiscard]] u64 csum_failures() const noexcept { return csum_failures_; }
+
+ private:
+  friend class TcpConn;
+
+  struct FlowKey {
+    u32 peer_ip;
+    u16 peer_port;
+    u16 local_port;
+    bool operator==(const FlowKey&) const = default;
+  };
+  struct FlowHash {
+    std::size_t operator()(const FlowKey& k) const noexcept {
+      return std::hash<u64>()((static_cast<u64>(k.peer_ip) << 32) ^
+                              (static_cast<u64>(k.peer_port) << 16) ^ k.local_port);
+    }
+  };
+
+  // Builds and transmits a segment on behalf of a connection.
+  void output(TcpConn& c, u8 flags, u32 seq, u32 ack,
+              std::span<const u8> payload, PktBuf** rtx_clone);
+  // Zero-copy variant: `pb` already carries the payload at payload_off.
+  void output_pkt(TcpConn& c, PktBuf* pb, u8 flags, u32 seq, u32 ack,
+                  PktBuf** rtx_clone);
+  void charge_rx(bool pure_ack);
+  void charge_tx();
+
+  void rx_locked(PktBuf* pb);  // runs under the host CPU scope
+
+  sim::Env& env_;
+  NetIf& netif_;
+  PktBufPool& pool_;
+  Options opts_;
+  sim::HostCpu own_cpu_;
+  sim::HostCpu* cpu_;
+
+  std::unordered_map<FlowKey, std::unique_ptr<TcpConn>, FlowHash> conns_;
+  std::unordered_map<u16, std::function<void(TcpConn&)>> listeners_;
+  u16 next_ephemeral_;
+  u32 next_iss_ = 1000;
+
+  u64 segments_rx_ = 0;
+  u64 segments_tx_ = 0;
+  u64 csum_failures_ = 0;
+};
+
+}  // namespace papm::net

@@ -1,0 +1,38 @@
+#include "nic/fabric.h"
+
+namespace papm::nic {
+
+void Fabric::attach(u32 ip, std::function<void(WireFrame)> deliver) {
+  ports_[ip] = std::move(deliver);
+}
+
+void Fabric::inject(u32 dst_ip, WireFrame frame, SimTime depart_at) {
+  auto it = ports_.find(dst_ip);
+  if (it == ports_.end()) return;  // no route: silently dropped
+
+  if (opts_.loss_p > 0 && env_->rng.chance(opts_.loss_p)) {
+    dropped_++;
+    return;
+  }
+  if (opts_.corrupt_p > 0 && !frame.bytes.empty() &&
+      env_->rng.chance(opts_.corrupt_p)) {
+    // Silent single-bit corruption; checksums must catch it downstream.
+    const u64 byte = env_->rng.next_below(frame.bytes.size());
+    frame.bytes[byte] ^= static_cast<u8>(1u << env_->rng.next_below(8));
+    corrupted_++;
+  }
+  SimTime arrive = depart_at + env_->cost.scaled(env_->cost.fabric_propagation_ns);
+  if (opts_.reorder_p > 0 && env_->rng.chance(opts_.reorder_p)) {
+    reordered_++;
+    arrive += static_cast<SimTime>(env_->rng.next_double() *
+                                   static_cast<double>(opts_.reorder_jitter_ns));
+  }
+  delivered_++;
+  auto& deliver = it->second;
+  env_->engine.schedule_at(arrive,
+                           [&deliver, f = std::move(frame)]() mutable {
+                             deliver(std::move(f));
+                           });
+}
+
+}  // namespace papm::nic

@@ -1,0 +1,62 @@
+// Network fabric: the cable + switch connecting the simulated NICs.
+//
+// Stands in for the testbed's 25 GbE switch (DESIGN.md §2). Frames are
+// raw byte vectors (the wire format); the fabric routes them by
+// destination IP, charging propagation delay and optionally injecting
+// loss and reordering for the transport-robustness experiments (M1).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/env.h"
+
+namespace papm::nic {
+
+struct WireFrame {
+  std::vector<u8> bytes;
+  SimTime tx_hw_tstamp = 0;
+};
+
+struct FabricOptions {
+  double loss_p = 0.0;            // i.i.d. frame loss probability
+  double reorder_p = 0.0;         // probability of delaying a frame
+  SimTime reorder_jitter_ns = 20 * kNsPerUs;  // extra delay when reordered
+  double corrupt_p = 0.0;         // probability of flipping one bit
+};
+
+class Fabric {
+ public:
+  using Options = FabricOptions;
+
+  explicit Fabric(sim::Env& env, Options opts = Options()) : env_(&env), opts_(opts) {}
+
+  // Registers a port: frames whose IP destination equals `ip` are
+  // delivered to `deliver`.
+  void attach(u32 ip, std::function<void(WireFrame)> deliver);
+
+  // Injects a frame from a NIC. `depart_at` is when the last bit leaves
+  // the sender (the NIC handles link serialization); delivery happens
+  // after propagation (+ jitter if reordered).
+  void inject(u32 dst_ip, WireFrame frame, SimTime depart_at);
+
+  [[nodiscard]] u64 delivered() const noexcept { return delivered_; }
+  [[nodiscard]] u64 dropped() const noexcept { return dropped_; }
+  [[nodiscard]] u64 reordered() const noexcept { return reordered_; }
+  [[nodiscard]] u64 corrupted() const noexcept { return corrupted_; }
+
+  void set_options(Options opts) noexcept { opts_ = opts; }
+
+ private:
+  sim::Env* env_;
+  Options opts_;
+  std::unordered_map<u32, std::function<void(WireFrame)>> ports_;
+  u64 delivered_ = 0;
+  u64 dropped_ = 0;
+  u64 reordered_ = 0;
+  u64 corrupted_ = 0;
+};
+
+}  // namespace papm::nic

@@ -1,0 +1,168 @@
+#include "nic/nic.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "net/udp.h"
+
+namespace papm::nic {
+
+using net::kAllHdrLen;
+using net::kEthHdrLen;
+using net::kIpHdrLen;
+using net::kTcpHdrLen;
+
+Nic::Nic(sim::Env& env, Fabric& fabric, u32 ip, net::PktBufPool& pool,
+         Options opts)
+    : env_(env), fabric_(fabric), ip_(ip), pool_(pool), opts_(opts) {
+  mac_.b[0] = 0x02;
+  mac_.b[2] = static_cast<u8>(ip >> 24);
+  mac_.b[3] = static_cast<u8>(ip >> 16);
+  mac_.b[4] = static_cast<u8>(ip >> 8);
+  mac_.b[5] = static_cast<u8>(ip);
+  fabric_.attach(ip, [this](WireFrame f) { on_frame(std::move(f)); });
+}
+
+void Nic::transmit(net::PktBuf* pb) {
+  // Driver work: descriptor + doorbell (CPU).
+  env_.clock().advance(env_.cost.scaled(env_.cost.nic_tx_ns));
+
+  WireFrame frame;
+  const u8* base = pool_.data(*pb);
+  frame.bytes.assign(base, base + pb->len);  // DMA read; not CPU time
+  for (int i = 0; i < pb->nr_frags; i++) {
+    // Scatter-gather DMA: frag bytes join the frame without CPU copies.
+    const auto& fr = pb->frags[i];
+    const u8* f = pool_.arena().data(fr.data_h, fr.off + fr.len) + fr.off;
+    frame.bytes.insert(frame.bytes.end(), f, f + fr.len);
+  }
+
+  if (opts_.csum_offload_tx) {
+    // Checksum engine on the TX path: covers the L4 header + payload with
+    // the IPv4 pseudo-header. Free of CPU cost.
+    env_.clock().advance(env_.cost.nic_csum_offload_ns);
+    const std::size_t l4_len = frame.bytes.size() - pb->l4_off;
+    const u32 pseudo =
+        net::l4_pseudo_sum(pb->ip.src, pb->ip.dst, pb->l4_proto, l4_len);
+    if (pb->l4_proto == net::kIpProtoTcp && pb->tcp.checksum == 0) {
+      const u32 sum = pseudo + inet_sum(std::span<const u8>(
+                                   frame.bytes.data() + pb->l4_off, l4_len));
+      const u16 csum = static_cast<u16>(~inet_fold(sum));
+      frame.bytes[pb->l4_off + 16] = static_cast<u8>(csum >> 8);
+      frame.bytes[pb->l4_off + 17] = static_cast<u8>(csum & 0xff);
+    } else if (pb->l4_proto == net::kIpProtoUdp &&
+               frame.bytes[pb->l4_off + 6] == 0 &&
+               frame.bytes[pb->l4_off + 7] == 0) {
+      const u32 sum = pseudo + inet_sum(std::span<const u8>(
+                                   frame.bytes.data() + pb->l4_off, l4_len));
+      u16 csum = static_cast<u16>(~inet_fold(sum));
+      if (csum == 0) csum = 0xffff;  // UDP: 0 means "no checksum"
+      frame.bytes[pb->l4_off + 6] = static_cast<u8>(csum >> 8);
+      frame.bytes[pb->l4_off + 7] = static_cast<u8>(csum & 0xff);
+    }
+  }
+
+  // Link serialization: frames queue at line rate.
+  const SimTime ready = env_.now();
+  const SimTime start = std::max(ready, link_free_at_);
+  const SimTime depart = start + env_.cost.wire_cost(frame.bytes.size());
+  link_free_at_ = depart;
+
+  if (opts_.hw_timestamps) frame.tx_hw_tstamp = depart;
+  tx_frames_++;
+  const u32 dst_ip = pb->ip.dst;
+  pool_.free(pb);  // clones in the rtx queue keep the data alive
+  fabric_.inject(dst_ip, std::move(frame), depart);
+}
+
+void Nic::on_frame(WireFrame frame) {
+  // DMA into a pre-posted RX buffer.
+  net::PktBuf* pb = pool_.alloc(static_cast<u32>(frame.bytes.size()));
+  if (pb == nullptr) {
+    rx_drops_++;
+    return;
+  }
+  std::memcpy(pool_.writable(*pb, static_cast<u32>(frame.bytes.size())).data(),
+              frame.bytes.data(), frame.bytes.size());
+  pool_.arena().mark_dirty(pb->data_h, frame.bytes.size());
+  pb->len = static_cast<u32>(frame.bytes.size());
+  if (opts_.hw_timestamps) pb->hw_tstamp = env_.now();
+
+  // Parse L2-L4 (cost folded into the stack RX lump charges).
+  const std::span<const u8> bytes(frame.bytes);
+  const auto eth = net::decode_eth(bytes);
+  if (!eth || eth->ethertype != net::kEtherTypeIpv4) {
+    rx_drops_++;
+    pool_.free(pb);
+    return;
+  }
+  const auto ip = net::decode_ip(bytes.subspan(kEthHdrLen));
+  if (!ip || (ip->protocol != net::kIpProtoTcp &&
+              ip->protocol != net::kIpProtoUdp)) {
+    rx_drops_++;
+    pool_.free(pb);
+    return;
+  }
+  pb->l2_off = 0;
+  pb->l3_off = kEthHdrLen;
+  pb->l4_off = kEthHdrLen + kIpHdrLen;
+  pb->l4_proto = ip->protocol;
+  pb->ip = *ip;
+
+  std::size_t l4_hdr_len;
+  if (ip->protocol == net::kIpProtoTcp) {
+    const auto tcp = net::decode_tcp(bytes.subspan(kEthHdrLen + kIpHdrLen));
+    if (!tcp) {
+      rx_drops_++;
+      pool_.free(pb);
+      return;
+    }
+    pb->payload_off = kAllHdrLen;
+    pb->tcp = *tcp;
+    l4_hdr_len = kTcpHdrLen;
+  } else {
+    const auto udp = net::decode_udp(bytes.subspan(kEthHdrLen + kIpHdrLen));
+    if (!udp) {
+      rx_drops_++;
+      pool_.free(pb);
+      return;
+    }
+    pb->payload_off = static_cast<u16>(net::kUdpAllHdrLen);
+    pb->tcp = net::TcpHeader{};  // L4 view: ports + checksum
+    pb->tcp.src_port = udp->src_port;
+    pb->tcp.dst_port = udp->dst_port;
+    pb->tcp.checksum = udp->checksum;
+    l4_hdr_len = net::kUdpHdrLen;
+  }
+
+  const bool udp_csum_absent =
+      ip->protocol == net::kIpProtoUdp && pb->tcp.checksum == 0;
+  if (opts_.csum_offload_rx && !udp_csum_absent) {
+    // Hardware verification + checksum-complete. No CPU cost.
+    const std::span<const u8> l4_seg = bytes.subspan(pb->l4_off);
+    const u32 full_sum = inet_sum(l4_seg);
+    const u32 pseudo =
+        net::l4_pseudo_sum(ip->src, ip->dst, ip->protocol, l4_seg.size());
+    if (inet_fold(full_sum + pseudo) != 0xffff) {
+      rx_csum_errors_++;
+      pool_.free(pb);
+      return;
+    }
+    pb->wire_csum = pb->tcp.checksum;
+    pb->csum_verified = true;
+    // Derive the payload-only checksum from the complete sum — the §4.2
+    // reuse: the store gets its integrity word without touching payload
+    // bytes on the CPU.
+    pb->payload_csum = net::payload_csum_from_complete(
+        full_sum, bytes.subspan(pb->l4_off, l4_hdr_len));
+  }
+
+  rx_frames_++;
+  if (sink_) {
+    sink_(pb);
+  } else {
+    pool_.free(pb);
+  }
+}
+
+}  // namespace papm::nic

@@ -1,0 +1,70 @@
+// Simulated NIC (models the testbed's Intel XXV710 25 GbE adapters).
+//
+// Offload engines the paper proposes to harvest for storage (§5.2):
+//   * TX checksum offload: fills the TCP checksum while serializing;
+//   * RX verification + "checksum complete": the full-segment sum is
+//     delivered with the packet and the stack derives the payload-only
+//     checksum for free (pktstore stores it as the integrity word);
+//   * hardware timestamps on both directions (PktBuf::hw_tstamp).
+//
+// Link serialization at wire_ns_per_byte models the 25 Gbit/s line rate;
+// frames queue behind each other on the link (link_free_at_).
+#pragma once
+
+#include <functional>
+
+#include "net/pktbuf.h"
+#include "net/tcp.h"
+#include "nic/fabric.h"
+
+namespace papm::nic {
+
+struct NicOptions {
+  bool csum_offload_tx = true;
+  bool csum_offload_rx = true;
+  bool hw_timestamps = true;
+};
+
+class Nic final : public net::NetIf {
+ public:
+  using Options = NicOptions;
+
+  // `pool` provides RX buffers (pre-posted descriptors) and owns TX
+  // packets handed to transmit().
+  Nic(sim::Env& env, Fabric& fabric, u32 ip, net::PktBufPool& pool,
+      Options opts = Options());
+
+  // Delivery target for received, parsed packets (usually TcpStack::rx).
+  void set_sink(std::function<void(net::PktBuf*)> sink) { sink_ = std::move(sink); }
+
+  // net::NetIf
+  void transmit(net::PktBuf* pb) override;
+  [[nodiscard]] net::MacAddr mac() const noexcept override { return mac_; }
+
+  [[nodiscard]] u32 ip() const noexcept { return ip_; }
+
+  // Stats.
+  [[nodiscard]] u64 tx_frames() const noexcept { return tx_frames_; }
+  [[nodiscard]] u64 rx_frames() const noexcept { return rx_frames_; }
+  [[nodiscard]] u64 rx_drops() const noexcept { return rx_drops_; }
+  [[nodiscard]] u64 rx_csum_errors() const noexcept { return rx_csum_errors_; }
+
+ private:
+  void on_frame(WireFrame frame);
+
+  sim::Env& env_;
+  Fabric& fabric_;
+  u32 ip_;
+  net::MacAddr mac_;
+  net::PktBufPool& pool_;
+  Options opts_;
+  std::function<void(net::PktBuf*)> sink_;
+  SimTime link_free_at_ = 0;
+
+  u64 tx_frames_ = 0;
+  u64 rx_frames_ = 0;
+  u64 rx_drops_ = 0;
+  u64 rx_csum_errors_ = 0;
+};
+
+}  // namespace papm::nic

@@ -1,0 +1,136 @@
+#include "pm/pm_device.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace papm::pm {
+
+PmDevice::PmDevice(sim::Env& env, u64 size) : env_(env), size_(size) {
+  if (size % kCacheLine != 0 || size < sizeof(Header) + kCacheLine) {
+    throw std::invalid_argument("PmDevice: bad size");
+  }
+  mem_.assign(size, 0);
+  persisted_.assign(size, 0);
+  Header* h = header();
+  h->magic = kMagic;
+  h->size = size;
+  // The header is born durable: a real device would be formatted offline.
+  std::memcpy(persisted_.data(), mem_.data(), sizeof(Header));
+}
+
+u64 PmDevice::data_base() const noexcept {
+  return align_up(sizeof(Header), kCacheLine);
+}
+
+void PmDevice::check_range(u64 offset, u64 len) const {
+  if (offset > size_ || len > size_ - offset) {
+    throw std::out_of_range("PmDevice: access out of range");
+  }
+}
+
+u8* PmDevice::at(u64 offset, u64 len) {
+  check_range(offset, len);
+  return mem_.data() + offset;
+}
+
+const u8* PmDevice::at(u64 offset, u64 len) const {
+  check_range(offset, len);
+  return mem_.data() + offset;
+}
+
+void PmDevice::store(u64 offset, std::span<const u8> data) {
+  check_range(offset, data.size());
+  std::memcpy(mem_.data() + offset, data.data(), data.size());
+  mark_dirty(offset, data.size());
+}
+
+void PmDevice::mark_dirty(u64 offset, u64 len) {
+  if (len == 0) return;
+  check_range(offset, len);
+  const u64 first = offset / kCacheLine;
+  const u64 last = (offset + len - 1) / kCacheLine;
+  for (u64 line = first; line <= last; line++) {
+    dirty_.insert(line);
+    pending_.erase(line);  // a new store re-dirties a clwb'd line
+  }
+}
+
+void PmDevice::clwb(u64 offset, u64 len) {
+  if (len == 0) return;
+  check_range(offset, len);
+  const u64 first = offset / kCacheLine;
+  const u64 last = (offset + len - 1) / kCacheLine;
+  for (u64 line = first; line <= last; line++) {
+    if (dirty_.erase(line) > 0) pending_.insert(line);
+    total_clwb_++;
+    env_.clock().advance(env_.cost.clwb_ns);
+  }
+}
+
+void PmDevice::sfence() {
+  for (u64 line : pending_) {
+    std::memcpy(persisted_.data() + line * kCacheLine,
+                mem_.data() + line * kCacheLine, kCacheLine);
+  }
+  pending_.clear();
+  total_sfence_++;
+  env_.clock().advance(env_.cost.sfence_ns);
+}
+
+void PmDevice::store_u64(u64 offset, u64 value) {
+  assert(offset % 8 == 0 && "store_u64 must be aligned");
+  u8 buf[8];
+  std::memcpy(buf, &value, 8);
+  store(offset, buf);
+}
+
+u64 PmDevice::load_u64(u64 offset) const {
+  u64 v;
+  std::memcpy(&v, at(offset, 8), 8);
+  return v;
+}
+
+void PmDevice::crash() {
+  // clwb'd-but-unfenced lines raced the power loss: each independently
+  // may or may not have drained from the write-pending queue.
+  for (u64 line : pending_) {
+    if (env_.rng.chance(0.5)) {
+      std::memcpy(persisted_.data() + line * kCacheLine,
+                  mem_.data() + line * kCacheLine, kCacheLine);
+    }
+  }
+  pending_.clear();
+  dirty_.clear();
+  mem_ = persisted_;
+}
+
+Status PmDevice::set_root(std::string_view name, u64 offset) {
+  if (name.empty() || name.size() > kMaxRootName) return Errc::invalid_argument;
+  Header* h = header();
+  RootEntry* slot = nullptr;
+  for (auto& e : h->roots) {
+    if (name == e.name) {
+      slot = &e;
+      break;
+    }
+    if (slot == nullptr && e.name[0] == '\0') slot = &e;
+  }
+  if (slot == nullptr) return Errc::out_of_space;
+  std::memset(slot->name, 0, sizeof(slot->name));
+  std::memcpy(slot->name, name.data(), name.size());
+  slot->offset = offset;
+  const u64 off = reinterpret_cast<const u8*>(slot) - mem_.data();
+  mark_dirty(off, sizeof(RootEntry));
+  persist(off, sizeof(RootEntry));
+  return Errc::ok;
+}
+
+Result<u64> PmDevice::get_root(std::string_view name) const {
+  for (const auto& e : header()->roots) {
+    if (name == e.name) return e.offset;
+  }
+  return Errc::not_found;
+}
+
+}  // namespace papm::pm

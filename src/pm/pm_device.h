@@ -1,0 +1,138 @@
+// Persistent-memory device model.
+//
+// Stands in for Intel Optane DCPMM in App-Direct mode (DESIGN.md §2). The
+// device is a flat byte-addressable region with:
+//
+//  * cache-line-granularity persistence: stores land in a volatile view
+//    (the "CPU cache"); `clwb` + `sfence` move lines to the persisted
+//    image, charging the calibrated flush costs to the simulation clock;
+//  * crash simulation: `crash()` discards everything that was not flushed
+//    — and lines that were clwb'd but not yet fenced survive only with
+//    probability 1/2 each, modelling the reordering the paper calls
+//    "dumb" device behaviour (§4);
+//  * a named root directory so recovery code can find its structures
+//    after a crash/remap without raw-offset bookkeeping.
+//
+// Higher layers never hold raw pointers across a crash: they address PM
+// with byte offsets (see pm_ptr.h) and re-resolve against the device.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/env.h"
+
+namespace papm::pm {
+
+class PmDevice {
+ public:
+  // Creates a zeroed region of `size` bytes. `size` must be a multiple of
+  // the cache-line size and large enough for the root directory header.
+  PmDevice(sim::Env& env, u64 size);
+
+  PmDevice(const PmDevice&) = delete;
+  PmDevice& operator=(const PmDevice&) = delete;
+
+  [[nodiscard]] u64 size() const noexcept { return size_; }
+
+  // Lowest offset usable by allocators (above the root directory header).
+  [[nodiscard]] u64 data_base() const noexcept;
+
+  // --- Volatile access (CPU load/store view) --------------------------
+  // Bounds-checked access into the current (cache-inclusive) image.
+  [[nodiscard]] u8* at(u64 offset, u64 len);
+  [[nodiscard]] const u8* at(u64 offset, u64 len) const;
+  [[nodiscard]] std::span<u8> span(u64 offset, u64 len) { return {at(offset, len), len}; }
+  [[nodiscard]] std::span<const u8> span(u64 offset, u64 len) const {
+    return {at(offset, len), len};
+  }
+
+  // Store with dirty-line tracking. Use this (or mark_dirty after in-place
+  // writes through at()) so crash simulation knows what is unflushed.
+  void store(u64 offset, std::span<const u8> data);
+
+  // Declare that [offset, offset+len) was mutated in place via at().
+  void mark_dirty(u64 offset, u64 len);
+
+  // --- Persistence primitives -----------------------------------------
+  // clwb: queue the cache lines covering [offset, offset+len) for
+  // write-back. Charged per line. Lines not dirty are still charged (the
+  // instruction executes regardless).
+  void clwb(u64 offset, u64 len);
+
+  // sfence: all previously clwb'd lines become durable. Charged once.
+  void sfence();
+
+  // Convenience: clwb + sfence over a range.
+  void persist(u64 offset, u64 len) {
+    clwb(offset, len);
+    sfence();
+  }
+
+  // An 8-byte atomic store that is immediately durable once fenced; the
+  // publication primitive for lock-free persistent structures.
+  void store_u64(u64 offset, u64 value);
+  [[nodiscard]] u64 load_u64(u64 offset) const;
+
+  // --- Crash simulation -------------------------------------------------
+  // Simulates power loss: the volatile image reverts to the persisted one.
+  // clwb'd-but-unfenced lines each survive with probability 1/2 (drawn
+  // from the env RNG). Dirty-but-not-clwb'd lines are always lost.
+  void crash();
+
+  // Number of lines currently dirty (unflushed) — test/introspection aid.
+  [[nodiscard]] std::size_t dirty_lines() const noexcept { return dirty_.size(); }
+  [[nodiscard]] std::size_t pending_lines() const noexcept { return pending_.size(); }
+
+  // Lifetime flush statistics (for benches).
+  [[nodiscard]] u64 total_clwb() const noexcept { return total_clwb_; }
+  [[nodiscard]] u64 total_sfence() const noexcept { return total_sfence_; }
+
+  // --- Named roots --------------------------------------------------------
+  // A fixed table of (name -> offset) entries in the region header,
+  // persisted on update. Recovery looks structures up by name.
+  static constexpr std::size_t kMaxRoots = 16;
+  static constexpr std::size_t kMaxRootName = 23;
+
+  // Sets (or overwrites) a root. Returns invalid_argument for an
+  // over-long name, out_of_space if the table is full.
+  Status set_root(std::string_view name, u64 offset);
+  [[nodiscard]] Result<u64> get_root(std::string_view name) const;
+
+  sim::Env& env() noexcept { return env_; }
+
+ private:
+  struct RootEntry {
+    char name[kMaxRootName + 1];
+    u64 offset;
+  };
+  struct Header {
+    u64 magic;
+    u64 size;
+    RootEntry roots[kMaxRoots];
+  };
+  static constexpr u64 kMagic = 0x50'41'50'4d'2d'50'4d'31ULL;  // "PAPM-PM1"
+
+  [[nodiscard]] Header* header() { return reinterpret_cast<Header*>(mem_.data()); }
+  [[nodiscard]] const Header* header() const {
+    return reinterpret_cast<const Header*>(mem_.data());
+  }
+
+  void check_range(u64 offset, u64 len) const;
+
+  sim::Env& env_;
+  u64 size_;
+  std::vector<u8> mem_;        // volatile view (includes CPU caches)
+  std::vector<u8> persisted_;  // what survives power loss
+  std::unordered_set<u64> dirty_;    // line indices modified, not clwb'd
+  std::unordered_set<u64> pending_;  // clwb'd, awaiting sfence
+  u64 total_clwb_ = 0;
+  u64 total_sfence_ = 0;
+};
+
+}  // namespace papm::pm

@@ -1,0 +1,119 @@
+#include "pm/pm_pool.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace papm::pm {
+
+PmPool::PmPool(PmDevice& dev, u64 header_off)
+    : dev_(&dev), header_off_(header_off) {}
+
+PmPool::PoolHeader* PmPool::hdr() {
+  return reinterpret_cast<PoolHeader*>(dev_->at(header_off_, sizeof(PoolHeader)));
+}
+const PmPool::PoolHeader* PmPool::hdr() const {
+  return reinterpret_cast<const PoolHeader*>(
+      dev_->at(header_off_, sizeof(PoolHeader)));
+}
+
+void PmPool::persist_header_field(const void* field, u64 len) {
+  const u64 off = static_cast<const u8*>(field) -
+                  dev_->at(header_off_, sizeof(PoolHeader)) + header_off_;
+  dev_->mark_dirty(off, len);
+  dev_->persist(off, len);
+}
+
+PmPool PmPool::create(PmDevice& dev, std::string_view name, u64 base,
+                      u64 span_len) {
+  if (base % kCacheLine != 0 || span_len < sizeof(PoolHeader) + kCacheLine) {
+    throw std::invalid_argument("PmPool: bad span");
+  }
+  PmPool pool(dev, base);
+  PoolHeader* h = pool.hdr();
+  std::memset(h, 0, sizeof(PoolHeader));
+  h->magic = kMagic;
+  h->base = base;
+  h->span_len = span_len;
+  h->bump = align_up(base + sizeof(PoolHeader), kCacheLine);
+  dev.mark_dirty(base, sizeof(PoolHeader));
+  dev.persist(base, sizeof(PoolHeader));
+  const Status st = dev.set_root(name, base);
+  if (!st.ok()) throw std::runtime_error("PmPool: root table full");
+  return pool;
+}
+
+Result<PmPool> PmPool::recover(PmDevice& dev, std::string_view name) {
+  const auto root = dev.get_root(name);
+  if (!root.ok()) return root.errc();
+  PmPool pool(dev, root.value());
+  if (pool.hdr()->magic != kMagic) return Errc::corrupted;
+  return pool;
+}
+
+std::optional<std::size_t> PmPool::class_for(u64 size) noexcept {
+  for (std::size_t i = 0; i < kClassSizes.size(); i++) {
+    if (size <= kClassSizes[i]) return i;
+  }
+  return std::nullopt;
+}
+
+Result<u64> PmPool::alloc(u64 size) {
+  if (size == 0) return Errc::invalid_argument;
+  auto& env = dev_->env();
+  env.clock().advance(alloc_charge_ns_ >= 0 ? alloc_charge_ns_
+                                            : env.cost.pm_alloc_ns);
+
+  PoolHeader* h = hdr();
+  const auto cls = class_for(size);
+  if (cls.has_value()) {
+    const u64 head = h->free_heads[*cls];
+    if (head != 0) {
+      // Pop: read next link from the block, then publish the new head.
+      u64 next;
+      std::memcpy(&next, dev_->at(head, 8), 8);
+      h->free_heads[*cls] = next;
+      persist_header_field(&h->free_heads[*cls], 8);
+      allocated_bytes_ += kClassSizes[*cls];
+      return head;
+    }
+  }
+  // Carve from the bump region.
+  const u64 block = cls.has_value() ? kClassSizes[*cls]
+                                    : align_up(size, kCacheLine);
+  const u64 at = align_up(h->bump, cls.has_value() ? u64{kClassSizes[*cls]}
+                                                   : u64{kCacheLine});
+  if (at + block > h->base + h->span_len) return Errc::out_of_space;
+  h->bump = at + block;
+  persist_header_field(&h->bump, 8);
+  allocated_bytes_ += block;
+  return at;
+}
+
+void PmPool::free(u64 offset, u64 size) {
+  auto& env = dev_->env();
+  env.clock().advance(free_charge_ns_ >= 0 ? free_charge_ns_
+                                           : env.cost.pm_free_ns);
+
+  const auto cls = class_for(size);
+  if (!cls.has_value()) return;  // large blocks are not recycled
+  PoolHeader* h = hdr();
+  // Push: write next link into the block, persist it, then publish head.
+  const u64 old_head = h->free_heads[*cls];
+  dev_->store(offset, std::span<const u8>(reinterpret_cast<const u8*>(&old_head), 8));
+  dev_->persist(offset, 8);
+  h->free_heads[*cls] = offset;
+  persist_header_field(&h->free_heads[*cls], 8);
+  if (allocated_bytes_ >= kClassSizes[*cls]) allocated_bytes_ -= kClassSizes[*cls];
+}
+
+u64 PmPool::capacity() const noexcept {
+  const PoolHeader* h = hdr();
+  return h->base + h->span_len - align_up(h->base + sizeof(PoolHeader), kCacheLine);
+}
+
+u64 PmPool::bump_used() const {
+  const PoolHeader* h = hdr();
+  return h->bump - align_up(h->base + sizeof(PoolHeader), kCacheLine);
+}
+
+}  // namespace papm::pm

@@ -1,0 +1,92 @@
+// Crash-consistent pool allocator over a PmDevice range.
+//
+// This models the "user-space persistent memory allocator" the paper's
+// baseline (NoveLSM) pays 2.78 us/op for (Table 1, alloc+insert) and that
+// the proposed design replaces with the network buffer pool (§4.2).
+//
+// Layout: a persisted PoolHeader holds a bump pointer and per-size-class
+// freelist heads; a free block's first 8 bytes store the next-free offset.
+//
+// Crash-consistency policy: *leak, never corrupt*. Every metadata update
+// follows write -> clwb -> sfence ordering, and the visible state is
+// always a consistent freelist; a crash between popping a block and the
+// caller publishing it into its own structure leaks that block (exactly
+// like PMDK's non-transactional allocations). `leaked_bytes()` lets tests
+// measure the leak bound; `recover()` re-attaches to an existing pool.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+#include "common/types.h"
+#include "pm/pm_device.h"
+#include "pm/pm_ptr.h"
+
+namespace papm::pm {
+
+class PmPool {
+ public:
+  static constexpr std::array<u32, 7> kClassSizes = {64,  128,  256, 512,
+                                                     1024, 2048, 4096};
+
+  // Formats a new pool occupying [base, base+span_len) of `dev` and
+  // registers it under root name `name`. base must be line-aligned.
+  static PmPool create(PmDevice& dev, std::string_view name, u64 base,
+                       u64 span_len);
+
+  // Re-attaches to a pool previously created under `name` (post-crash).
+  static Result<PmPool> recover(PmDevice& dev, std::string_view name);
+
+  // Allocates at least `size` bytes; returns the block offset. Blocks of
+  // more than the largest class are carved from the bump region rounded
+  // to a whole number of lines (and are not recycled by free()).
+  [[nodiscard]] Result<u64> alloc(u64 size);
+
+  // Returns a block obtained from alloc(size) with the same size class.
+  void free(u64 offset, u64 size);
+
+  // Accounting (volatile; recomputed on recover).
+  [[nodiscard]] u64 allocated_bytes() const noexcept { return allocated_bytes_; }
+  [[nodiscard]] u64 capacity() const noexcept;
+
+  // Bytes reachable from neither a freelist nor the bump frontier,
+  // assuming the caller reports its live set. For tests.
+  [[nodiscard]] u64 bump_used() const;
+
+  // Overrides the simulated cost charged per alloc/free. By default a
+  // PmPool charges the generic user-space PM allocator costs (Table 1's
+  // alloc component); the packet-buffer pool reconfigures itself to
+  // freelist-pop costs (pool_alloc_ns) — the §4.2 allocator unification.
+  void set_charges(SimTime alloc_ns, SimTime free_ns) noexcept {
+    alloc_charge_ns_ = alloc_ns;
+    free_charge_ns_ = free_ns;
+  }
+
+  PmDevice& device() noexcept { return *dev_; }
+
+ private:
+  struct PoolHeader {
+    u64 magic;
+    u64 base;        // span start (== header offset)
+    u64 span_len;    // span length in bytes
+    u64 bump;        // next never-allocated offset
+    u64 free_heads[kClassSizes.size()];  // 0 = empty
+  };
+  static constexpr u64 kMagic = 0x50'4f'4f'4c'2d'50'4d'31ULL;  // "POOL-PM1"
+
+  PmPool(PmDevice& dev, u64 header_off);
+
+  [[nodiscard]] PoolHeader* hdr();
+  [[nodiscard]] const PoolHeader* hdr() const;
+  [[nodiscard]] static std::optional<std::size_t> class_for(u64 size) noexcept;
+  void persist_header_field(const void* field, u64 len);
+
+  PmDevice* dev_;
+  u64 header_off_;
+  u64 allocated_bytes_ = 0;
+  SimTime alloc_charge_ns_ = -1;  // -1 = use cost model default
+  SimTime free_charge_ns_ = -1;
+};
+
+}  // namespace papm::pm

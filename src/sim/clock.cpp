@@ -1,0 +1,3 @@
+#include "sim/clock.h"
+
+// Clock is header-only; this TU anchors the library target.

@@ -1,0 +1,3 @@
+#include "sim/cost_model.h"
+
+// CostModel is header-only; this TU anchors the library target.

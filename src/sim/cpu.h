@@ -1,0 +1,69 @@
+// Per-host CPU resource.
+//
+// The paper's server "uses only one CPU core"; Figure 2's latency growth
+// with connection count is queueing at that core. HostCpu serializes
+// charged work onto a fixed number of cores: each run() picks the
+// earliest-free core no earlier than the event time, executes the handler
+// under a charge scope (see clock.h), and marks the core busy for the
+// collected charge.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/env.h"
+
+namespace papm::sim {
+
+class HostCpu {
+ public:
+  // cores == 0 means "effectively unlimited" (the multi-core client whose
+  // queueing the paper does not model).
+  explicit HostCpu(Env& env, int cores = 1) : env_(&env) {
+    for (int i = 0; i < cores; i++) free_at_.push_back(0);
+  }
+
+  // Executes `fn` as CPU work arriving now. Returns the completion time.
+  template <typename F>
+  SimTime run(F&& fn) {
+    const SimTime arrival = env_->now();
+    SimTime start = arrival;
+    std::size_t core = 0;
+    if (!free_at_.empty()) {
+      core = static_cast<std::size_t>(
+          std::min_element(free_at_.begin(), free_at_.end()) - free_at_.begin());
+      start = std::max(arrival, free_at_[core]);
+    }
+    backlogged_ = start > arrival;
+    SimTime charge = 0;
+    env_->clock().begin_scope(start, &charge);
+    std::forward<F>(fn)();
+    env_->clock().end_scope();
+    const SimTime done = start + charge;
+    if (!free_at_.empty()) free_at_[core] = done;
+    busy_ns_ += charge;
+    work_items_++;
+    return done;
+  }
+
+  [[nodiscard]] SimTime earliest_free() const noexcept {
+    if (free_at_.empty()) return 0;
+    return *std::min_element(free_at_.begin(), free_at_.end());
+  }
+  [[nodiscard]] SimTime busy_ns() const noexcept { return busy_ns_; }
+  // True while running a work item that waited behind the busy core —
+  // the back-to-back regime where batching effects apply.
+  [[nodiscard]] bool backlogged() const noexcept { return backlogged_; }
+  [[nodiscard]] u64 work_items() const noexcept { return work_items_; }
+
+ private:
+  Env* env_;
+  std::vector<SimTime> free_at_;
+  SimTime busy_ns_ = 0;
+  u64 work_items_ = 0;
+  bool backlogged_ = false;
+};
+
+}  // namespace papm::sim

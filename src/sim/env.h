@@ -1,0 +1,19 @@
+// Simulation environment: the bundle every simulated component shares.
+#pragma once
+
+#include "common/rng.h"
+#include "sim/cost_model.h"
+#include "sim/event_queue.h"
+
+namespace papm::sim {
+
+struct Env {
+  Engine engine;
+  CostModel cost;
+  Rng rng{0x5eedULL};
+
+  Clock& clock() noexcept { return engine.clock(); }
+  [[nodiscard]] SimTime now() const noexcept { return engine.now(); }
+};
+
+}  // namespace papm::sim

@@ -1,0 +1,38 @@
+#include "sim/event_queue.h"
+
+namespace papm::sim {
+
+void Engine::schedule_at(SimTime at, Callback fn) {
+  if (at < clock_.now()) at = clock_.now();
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // Move the event out before running it: the callback may schedule more.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  clock_.jump_to(ev.at);
+  ev.fn();
+  return true;
+}
+
+void Engine::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+  }
+  clock_.jump_to(deadline);
+}
+
+void Engine::run_until_idle() {
+  while (step()) {
+  }
+}
+
+void Engine::reset() {
+  while (!queue_.empty()) queue_.pop();
+  clock_.reset();
+  next_seq_ = 0;
+}
+
+}  // namespace papm::sim

@@ -1,0 +1,65 @@
+// Discrete-event engine.
+//
+// A single-threaded priority queue of (time, sequence, callback). Events
+// scheduled at equal times fire in scheduling order (the sequence number
+// breaks ties), which keeps runs bit-deterministic.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/clock.h"
+
+namespace papm::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Clock& clock() noexcept { return clock_; }
+  [[nodiscard]] SimTime now() const noexcept { return clock_.now(); }
+
+  // Schedule `fn` to run at absolute time `at` (clamped to now).
+  void schedule_at(SimTime at, Callback fn);
+
+  // Schedule `fn` to run `delay` ns from now.
+  void schedule_in(SimTime delay, Callback fn) {
+    schedule_at(clock_.now() + delay, std::move(fn));
+  }
+
+  // Run the earliest pending event; returns false if none are pending.
+  bool step();
+
+  // Run events until the queue drains or the clock passes `deadline`.
+  // Events scheduled beyond the deadline stay queued.
+  void run_until(SimTime deadline);
+
+  // Run until no events remain.
+  void run_until_idle();
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  // Drop all pending events and reset time to zero.
+  void reset();
+
+ private:
+  struct Event {
+    SimTime at;
+    u64 seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Clock clock_;
+  u64 next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace papm::sim

@@ -1,0 +1,99 @@
+// LSM key-value store over PM — the NoveLSM-like baseline of §3.
+//
+// A mutable PM memtable absorbs writes; when it exceeds the rotation
+// threshold it is frozen and a new one starts (NoveLSM's immutable
+// memtables). Per the paper's methodology, *compaction is off* during
+// experiments ("we configure NoveLSM to not move the data to disks");
+// compact() exists for the ablation benches. Reads consult the mutable
+// table first, then frozen tables newest-first; deletes write tombstones.
+//
+// Optional write-ahead log models classic LevelDB-on-PM (NoveLSM's design
+// point is precisely dropping it — ablation A-wal shows what it costs).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "storage/memtable.h"
+#include "storage/wal.h"
+
+namespace papm::storage {
+
+struct LsmOptions {
+  StoreKnobs knobs;
+  bool use_wal = false;
+  u64 memtable_limit_bytes = 0;  // 0 = never rotate
+  u64 wal_bytes = 1 << 20;       // WAL span (when use_wal)
+};
+
+class LsmStore {
+ public:
+  // Creates a fresh store; PM structures are registered under roots
+  // "<name>.cnt", "<name>.t<N>.idx" and (optionally) "<name>.wal".
+  static LsmStore create(pm::PmDevice& dev, pm::PmPool& pool,
+                         std::string_view name, LsmOptions opts = LsmOptions());
+
+  // Reattaches after a crash: recovers every table and replays the WAL
+  // tail into the mutable memtable.
+  static Result<LsmStore> recover(pm::PmDevice& dev, pm::PmPool& pool,
+                                  std::string_view name,
+                                  LsmOptions opts = LsmOptions());
+
+  Status put(std::string_view key, std::span<const u8> value,
+             OpBreakdown* bd = nullptr);
+  Status erase(std::string_view key);
+
+  // Copy-out read across all tables; verifies checksums.
+  [[nodiscard]] Result<std::vector<u8>> get(std::string_view key) const;
+
+  // Ordered range scan across all tables (newest value wins, tombstones
+  // hide older entries). fn(key, value_view); stops early on false.
+  void scan(std::string_view from, std::string_view to,
+            const std::function<bool(std::string_view, std::span<const u8>)>& fn)
+      const;
+
+  // Freezes the mutable memtable (no-op when empty).
+  Status rotate();
+
+  // Merges every frozen table into the mutable one and drops them —
+  // the compaction the paper's experiments disable.
+  Status compact();
+
+  [[nodiscard]] std::size_t table_count() const noexcept {
+    return 1 + frozen_.size();
+  }
+  [[nodiscard]] std::size_t entries() const noexcept;
+  [[nodiscard]] bool has_wal() const noexcept { return wal_.has_value(); }
+
+  // Back-to-back hint for the active memtable (group commit regime).
+  void set_batched(bool b) noexcept {
+    if (active_.has_value()) active_->set_batched(b);
+  }
+
+ private:
+  LsmStore(pm::PmDevice& dev, pm::PmPool& pool, std::string name,
+           LsmOptions opts)
+      : dev_(&dev), pool_(&pool), name_(std::move(name)), opts_(opts) {}
+
+  // Table numbers map onto 8 recycled root-name slots: the live range
+  // [first, next) never exceeds 8 tables, so slots never collide and the
+  // device root table stays bounded.
+  [[nodiscard]] std::string table_name(u64 n) const {
+    return name_ + ".t" + std::to_string(n % 8);
+  }
+  void persist_count();
+  Status maybe_rotate();
+
+  pm::PmDevice* dev_;
+  pm::PmPool* pool_;
+  std::string name_;
+  LsmOptions opts_;
+  std::optional<Wal> wal_;
+  std::optional<PmMemtable> active_;
+  std::deque<PmMemtable> frozen_;  // newest at back
+  u64 next_table_ = 1;             // next table number to allocate
+  u64 bytes_in_active_ = 0;
+};
+
+}  // namespace papm::storage

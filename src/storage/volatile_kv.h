@@ -1,0 +1,60 @@
+// MICA-like volatile key-value store (§2.2's comparison point).
+//
+// "Networked non-persistent in-memory key-value stores, such as MICA,
+// eliminate networking overheads using kernel-bypass framework and
+// custom UDP-based protocol. However, these systems need custom clients
+// and do not support storage properties typically offered by persistent
+// storage systems, such as durability and crash consistency."
+//
+// This store is exactly that trade: a DRAM hash table with near-zero
+// data-management cost, no checksums, no persistence — and nothing
+// survives a restart. bench_mica quantifies what durability costs.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/env.h"
+
+namespace papm::storage {
+
+class VolatileKv {
+ public:
+  explicit VolatileKv(sim::Env& env) : env_(&env) {}
+
+  Status put(std::string_view key, std::span<const u8> value) {
+    auto& c = env_->cost;
+    // Hash probe (~1 DRAM miss), heap allocation, one copy.
+    env_->clock().advance(c.dram_read_ns + c.heap_alloc_ns +
+                          c.copy_cost(value.size()));
+    map_[std::string(key)].assign(value.begin(), value.end());
+    return Errc::ok;
+  }
+
+  [[nodiscard]] Result<std::vector<u8>> get(std::string_view key) const {
+    auto& c = env_->cost;
+    env_->clock().advance(c.dram_read_ns);
+    const auto it = map_.find(std::string(key));
+    if (it == map_.end()) return Errc::not_found;
+    env_->clock().advance(c.copy_cost(it->second.size()));
+    return it->second;
+  }
+
+  bool erase(std::string_view key) {
+    env_->clock().advance(env_->cost.dram_read_ns);
+    return map_.erase(std::string(key)) > 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+
+  // What a reboot does to a DRAM store.
+  void crash() { map_.clear(); }
+
+ private:
+  sim::Env* env_;
+  std::unordered_map<std::string, std::vector<u8>> map_;
+};
+
+}  // namespace papm::storage

@@ -1,0 +1,66 @@
+// Write-ahead log in PM.
+//
+// NoveLSM's PM memtable drops the log; classic LevelDB keeps one. The
+// LsmStore exposes both modes so the benches can show what the log costs
+// on PM (ablation around §2.1's "appending writes to a sequential
+// journal").
+//
+// Record layout (all little-endian, appended at the persisted tail):
+//   u32 crc (masked, covers type..value)  u8 type  u32 klen  u32 vlen
+//   key bytes  value bytes
+// The tail offset is persisted after each append (write-ahead ordering:
+// record first, then tail pointer).
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "common/crc32c.h"
+#include "common/types.h"
+#include "pm/pm_device.h"
+
+namespace papm::storage {
+
+enum class WalRecordType : u8 { put = 1, erase = 2 };
+
+class Wal {
+ public:
+  // Formats a log over [base, base+len) and registers root `name`.
+  static Wal create(pm::PmDevice& dev, std::string_view name, u64 base, u64 len);
+  static Result<Wal> recover(pm::PmDevice& dev, std::string_view name);
+
+  // Appends and persists one record. out_of_space when full.
+  Status append(WalRecordType type, std::string_view key,
+                std::span<const u8> value);
+
+  // Replays all complete records in order. Truncated/corrupt tail records
+  // (torn writes) stop replay cleanly — they were never acknowledged.
+  // Returns the number of records applied.
+  u64 replay(const std::function<void(WalRecordType, std::string_view,
+                                      std::span<const u8>)>& apply) const;
+
+  // Logical reset (tail back to the start), persisted.
+  void truncate();
+
+  [[nodiscard]] u64 bytes_used() const;
+  [[nodiscard]] u64 capacity() const;
+
+ private:
+  struct Header {
+    u64 magic;
+    u64 base;
+    u64 len;
+    u64 tail;  // absolute offset of next append
+  };
+  static constexpr u64 kMagic = 0x57'41'4c'2d'50'4d'31'00ULL;  // "WAL-PM1"
+
+  Wal(pm::PmDevice& dev, u64 header_off) : dev_(&dev), header_off_(header_off) {}
+  [[nodiscard]] Header* hdr();
+  [[nodiscard]] const Header* hdr() const;
+  void persist_tail();
+
+  pm::PmDevice* dev_;
+  u64 header_off_;
+};
+
+}  // namespace papm::storage

@@ -1,0 +1,482 @@
+// Tests for core/: PChain, PktStore and PmFs — the paper's §4.2 design.
+// Includes end-to-end ingest from real received TCP packets, checksum
+// reuse equivalence, the cost claims (no CRC pass, no copy), crash
+// recovery, and the file-system variant.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "core/pktstore.h"
+#include "core/pmfs.h"
+#include "net/gso.h"
+#include "nic/nic.h"
+
+namespace papm::core {
+namespace {
+
+using net::PktBuf;
+
+constexpr u64 kDev = 32u << 20;
+constexpr u32 kClientIp = 0x0a000001;
+constexpr u32 kServerIp = 0x0a000002;
+constexpr u16 kPort = 9000;
+
+std::vector<u8> rand_bytes(std::size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<u8> v(n);
+  for (auto& b : v) b = static_cast<u8>(rng.next());
+  return v;
+}
+
+// A PASTE-style server host: packet pool in PM, plus a DRAM client.
+struct PmRig {
+  explicit PmRig(sim::Env& env)
+      : fabric(env),
+        dev(env, kDev),
+        pmpool(pm::PmPool::create(dev, "pkts", dev.data_base(), kDev - 4096)),
+        arena(dev, pmpool),
+        pool(env, arena),
+        snic(env, fabric, kServerIp, pool),
+        sstack(env, snic, pool,
+               [] {
+                 net::TcpStack::Options o;
+                 o.ip = kServerIp;
+                 o.busy_poll = true;
+                 return o;
+               }()),
+        carena(env),
+        cpool(env, carena),
+        cnic(env, fabric, kClientIp, cpool),
+        cstack(env, cnic, cpool, [] {
+          net::TcpStack::Options o;
+          o.ip = kClientIp;
+          return o;
+        }()) {
+    // The §4.2 allocator unification: the packet pool is a freelist.
+    pmpool.set_charges(env.cost.pool_alloc_ns, env.cost.pool_alloc_ns / 2);
+    snic.set_sink([this](PktBuf* pb) { sstack.rx(pb); });
+    cnic.set_sink([this](PktBuf* pb) { cstack.rx(pb); });
+  }
+
+  // Sends `payload` from the client; returns the packets the server's
+  // zero-copy receive path yields.
+  std::vector<PktBuf*> deliver(sim::Env& env, std::span<const u8> payload) {
+    std::vector<PktBuf*> got;
+    if (!listening) {
+      EXPECT_TRUE(sstack
+                      .listen(kPort,
+                              [&, this](net::TcpConn& c) {
+                                c.on_readable = [this](net::TcpConn& cc) {
+                                  for (PktBuf* pb : cc.read_pkts()) {
+                                    inbox.push_back(pb);
+                                  }
+                                };
+                              })
+                      .ok());
+      conn = cstack.connect(kServerIp, kPort);
+      listening = true;
+    }
+    env.engine.run_until_idle();
+    (void)conn->send(payload);
+    env.engine.run_until_idle();
+    got.swap(inbox);
+    return got;
+  }
+
+  nic::Fabric fabric;
+  pm::PmDevice dev;
+  pm::PmPool pmpool;
+  net::PmArena arena;
+  net::PktBufPool pool;
+  nic::Nic snic;
+  net::TcpStack sstack;
+  net::HeapArena carena;
+  net::PktBufPool cpool;
+  nic::Nic cnic;
+  net::TcpStack cstack;
+  net::TcpConn* conn = nullptr;
+  std::vector<PktBuf*> inbox;
+  bool listening = false;
+};
+
+class PktStoreTest : public ::testing::Test {
+ protected:
+  sim::Env env;
+  PmRig rig{env};
+  PktStore store{PktStore::create(rig.pool, "store")};
+};
+
+TEST_F(PktStoreTest, IngestReceivedPacketZeroCopy) {
+  const auto value = rand_bytes(1024, 1);
+  auto pkts = rig.deliver(env, value);
+  ASSERT_EQ(pkts.size(), 1u);
+  PktBuf* pb = pkts[0];
+
+  ASSERT_TRUE(store.put_pkt("key1", *pb, pb->payload_off, 1024).ok());
+  const u64 stored_buffer = pb->data_h;
+  rig.pool.free(pb);  // network stack is done with the packet
+
+  // Value readable and checksum-verified.
+  const auto got = store.get("key1");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), value);
+
+  // Zero copy: the stored bytes are the DMA'd packet buffer itself.
+  const auto st = store.stat("key1");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->len, 1024u);
+  EXPECT_EQ(st->segments, 1u);
+  EXPECT_EQ(st->csum_kind, CsumKind::inet16);
+  EXPECT_GT(st->hw_tstamp, 0);  // NIC timestamp reused
+  const u8* in_pm = rig.dev.at(stored_buffer, 64);
+  (void)in_pm;  // buffer still resolvable inside the PM device
+}
+
+TEST_F(PktStoreTest, ChecksumReuseMatchesDirectComputation) {
+  // Value preceded by a fake HTTP header inside the same payload: the
+  // stored checksum must cover only the value slice.
+  std::vector<u8> payload;
+  const std::string header = "PUT /kv/key2 HTTP/1.1\r\nContent-Length: 500\r\n\r\n";
+  payload.insert(payload.end(), header.begin(), header.end());
+  const auto value = rand_bytes(500, 2);
+  payload.insert(payload.end(), value.begin(), value.end());
+
+  auto pkts = rig.deliver(env, payload);
+  ASSERT_EQ(pkts.size(), 1u);
+  PktBuf* pb = pkts[0];
+  const u32 val_off = pb->payload_off + static_cast<u32>(header.size());
+  ASSERT_TRUE(store.put_pkt("key2", *pb, val_off, 500).ok());
+  rig.pool.free(pb);
+
+  EXPECT_TRUE(store.verify("key2").ok());
+  EXPECT_EQ(store.get("key2").value(), value);
+}
+
+TEST_F(PktStoreTest, ReuseSkipsChecksumAndCopyCosts) {
+  const auto value = rand_bytes(1024, 3);
+  auto p1 = rig.deliver(env, value);
+  ASSERT_EQ(p1.size(), 1u);
+
+  storage::OpBreakdown reuse_bd;
+  ASSERT_TRUE(
+      store.put_pkt("reuse", *p1[0], p1[0]->payload_off, 1024, &reuse_bd).ok());
+  rig.pool.free(p1[0]);
+
+  PktStoreOptions no_reuse;
+  no_reuse.reuse_checksum = false;
+  no_reuse.zero_copy = false;
+  no_reuse.light_prep = false;
+  auto baseline_like = PktStore::create(rig.pool, "noreuse", no_reuse);
+  auto p2 = rig.deliver(env, value);
+  ASSERT_EQ(p2.size(), 1u);
+  storage::OpBreakdown plain_bd;
+  ASSERT_TRUE(baseline_like
+                  .put_pkt("reuse", *p2[0], p2[0]->payload_off, 1024, &plain_bd)
+                  .ok());
+  rig.pool.free(p2[0]);
+
+  // The headline claims: checksum ~free (saves ~1.77 us), copy ~free
+  // (saves ~1.14 us), prep lighter (saves ~0.58 us).
+  EXPECT_LT(reuse_bd.checksum_ns, 200);
+  EXPECT_GT(plain_bd.checksum_ns, 1500);
+  EXPECT_LT(reuse_bd.copy_ns, 100);
+  EXPECT_GT(plain_bd.copy_ns, 1000);
+  EXPECT_LT(reuse_bd.prep_ns, 200);
+  EXPECT_GT(plain_bd.prep_ns, 600);
+  // Persistence is not avoidable either way (1.94 us for 1 KB).
+  EXPECT_NEAR(static_cast<double>(reuse_bd.persist_ns), 1940, 120);
+  EXPECT_NEAR(static_cast<double>(plain_bd.persist_ns), 1940, 120);
+}
+
+TEST_F(PktStoreTest, MultiSegmentValueChains) {
+  // Three segments of one logical value.
+  const auto value = rand_bytes(3500, 4);
+  std::vector<PktBuf*> pkts;
+  std::vector<u32> offs, lens;
+  std::size_t at = 0;
+  while (at < value.size()) {
+    const u32 n = static_cast<u32>(std::min<std::size_t>(1460, value.size() - at));
+    auto got = rig.deliver(env, std::span<const u8>(value.data() + at, n));
+    ASSERT_EQ(got.size(), 1u);
+    pkts.push_back(got[0]);
+    offs.push_back(got[0]->payload_off);
+    lens.push_back(n);
+    at += n;
+  }
+  ASSERT_TRUE(store.put_pkts("chain", pkts, offs, lens).ok());
+  for (auto* pb : pkts) rig.pool.free(pb);
+
+  const auto st = store.stat("chain");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->len, 3500u);
+  EXPECT_EQ(st->segments, 3u);
+  EXPECT_TRUE(store.verify("chain").ok());
+  EXPECT_EQ(store.get("chain").value(), value);
+}
+
+TEST_F(PktStoreTest, PutBytesPath) {
+  const auto value = rand_bytes(5000, 5);
+  ASSERT_TRUE(store.put_bytes("appkey", value).ok());
+  EXPECT_EQ(store.get("appkey").value(), value);
+  const auto st = store.stat("appkey");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->segments, (5000 + net::kMss - 1) / net::kMss);
+  EXPECT_TRUE(store.verify("appkey").ok());
+}
+
+TEST_F(PktStoreTest, EmitPktsZeroCopyRoundTrip) {
+  const auto value = rand_bytes(4000, 6);
+  ASSERT_TRUE(store.put_bytes("emit", value).ok());
+  auto pkts = store.get_as_pkts("emit");
+  ASSERT_TRUE(pkts.ok());
+  std::vector<u8> assembled;
+  for (PktBuf* pb : pkts.value()) {
+    const auto bytes = net::super_payload(rig.pool, *pb);
+    assembled.insert(assembled.end(), bytes.begin(), bytes.end());
+    EXPECT_EQ(pb->nr_frags, 1);  // value rides as a frag, not a copy
+    rig.pool.free(pb);
+  }
+  EXPECT_EQ(assembled, value);
+  // Freeing the emitted packets must not free the stored data.
+  EXPECT_EQ(store.get("emit").value(), value);
+}
+
+TEST_F(PktStoreTest, OverwriteReplacesAndFreesOldChain) {
+  ASSERT_TRUE(store.put_bytes("k", rand_bytes(1000, 7)).ok());
+  const u64 before = rig.pmpool.allocated_bytes();
+  ASSERT_TRUE(store.put_bytes("k", rand_bytes(1000, 8)).ok());
+  EXPECT_EQ(rig.pmpool.allocated_bytes(), before);  // steady state
+  EXPECT_EQ(store.get("k").value(), rand_bytes(1000, 8));
+}
+
+TEST_F(PktStoreTest, EraseReclaimsEverything) {
+  const u64 empty = rig.pmpool.allocated_bytes();
+  ASSERT_TRUE(store.put_bytes("k", rand_bytes(2000, 9)).ok());
+  EXPECT_GT(rig.pmpool.allocated_bytes(), empty);
+  EXPECT_TRUE(store.erase("k"));
+  EXPECT_FALSE(store.erase("k"));
+  EXPECT_EQ(store.get("k").errc(), Errc::not_found);
+  // Value chain, metadata and index node all returned (minus nothing).
+  EXPECT_EQ(rig.pmpool.allocated_bytes(), empty);
+}
+
+TEST_F(PktStoreTest, CorruptionDetectedInet16) {
+  const auto value = rand_bytes(800, 10);
+  auto pkts = rig.deliver(env, value);
+  ASSERT_TRUE(store.put_pkt("k", *pkts[0], pkts[0]->payload_off, 800).ok());
+  const u64 data_off = pkts[0]->data_h + pkts[0]->payload_off;
+  rig.pool.free(pkts[0]);
+  // Flip a stored byte behind the store's back.
+  u8 evil = *rig.dev.at(data_off + 13, 1) ^ 0x20;
+  rig.dev.store(data_off + 13, {&evil, 1});
+  EXPECT_EQ(store.verify("k").errc(), Errc::corrupted);
+  EXPECT_EQ(store.get("k").errc(), Errc::corrupted);
+}
+
+TEST_F(PktStoreTest, CorruptionDetectedCrc32c) {
+  PktStoreOptions o;
+  o.reuse_checksum = false;
+  auto s2 = PktStore::create(rig.pool, "crc", o);
+  const auto value = rand_bytes(800, 11);
+  auto pkts = rig.deliver(env, value);
+  ASSERT_TRUE(s2.put_pkt("k", *pkts[0], pkts[0]->payload_off, 800).ok());
+  const u64 data_off = pkts[0]->data_h + pkts[0]->payload_off;
+  rig.pool.free(pkts[0]);
+  EXPECT_EQ(s2.stat("k")->csum_kind, CsumKind::crc32c);
+  u8 evil = *rig.dev.at(data_off + 5, 1) ^ 0x01;
+  rig.dev.store(data_off + 5, {&evil, 1});
+  EXPECT_EQ(s2.verify("k").errc(), Errc::corrupted);
+}
+
+TEST_F(PktStoreTest, ScanOrderedWithMetadata) {
+  ASSERT_TRUE(store.put_bytes("a", rand_bytes(10, 12)).ok());
+  ASSERT_TRUE(store.put_bytes("b", rand_bytes(20, 13)).ok());
+  ASSERT_TRUE(store.put_bytes("c", rand_bytes(30, 14)).ok());
+  std::string keys;
+  std::vector<u64> lens;
+  store.scan("", "", [&](std::string_view k, const PktStore::ValueMeta& m) {
+    keys += k;
+    lens.push_back(m.len);
+    return true;
+  });
+  EXPECT_EQ(keys, "abc");
+  EXPECT_EQ(lens, (std::vector<u64>{10, 20, 30}));
+}
+
+TEST_F(PktStoreTest, CrashRecoveryRestoresEverything) {
+  std::map<std::string, std::vector<u8>> model;
+  for (int i = 0; i < 60; i++) {
+    const std::string key = "key" + std::to_string(i);
+    auto v = rand_bytes(100 + static_cast<std::size_t>(i) * 37, 100 + i);
+    ASSERT_TRUE(store.put_bytes(key, v).ok());
+    model[key] = std::move(v);
+  }
+  // Also one network-ingested value.
+  const auto netval = rand_bytes(1024, 999);
+  auto pkts = rig.deliver(env, netval);
+  ASSERT_TRUE(store.put_pkt("netkey", *pkts[0], pkts[0]->payload_off, 1024).ok());
+  rig.pool.free(pkts[0]);
+  model["netkey"] = netval;
+
+  rig.dev.crash();
+
+  // Fresh volatile state, recovered persistent state.
+  auto pmpool2 = pm::PmPool::recover(rig.dev, "pkts");
+  ASSERT_TRUE(pmpool2.ok());
+  net::PmArena arena2(rig.dev, pmpool2.value());
+  net::PktBufPool pool2(env, arena2);
+  auto rec = PktStore::recover(pool2, "store");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size(), model.size());
+  EXPECT_TRUE(rec->validate().ok());
+  for (const auto& [k, v] : model) {
+    ASSERT_TRUE(rec->verify(k).ok()) << k;
+    EXPECT_EQ(rec->get(k).value(), v) << k;
+  }
+  // Post-recovery mutation paths still work (restore_ref machinery).
+  EXPECT_TRUE(rec->erase("key0"));
+  ASSERT_TRUE(rec->put_bytes("new", rand_bytes(64, 1000)).ok());
+  EXPECT_TRUE(rec->verify("new").ok());
+}
+
+TEST_F(PktStoreTest, RequiresPmBackedPool) {
+  net::HeapArena heap(env);
+  net::PktBufPool dram_pool(env, heap);
+  EXPECT_THROW(PktStore::create(dram_pool, "bad"), std::invalid_argument);
+}
+
+TEST_F(PktStoreTest, TimestampReuseToggle) {
+  PktStoreOptions o;
+  o.reuse_timestamp = false;
+  auto s2 = PktStore::create(rig.pool, "nots", o);
+  const auto value = rand_bytes(100, 15);
+  auto pkts = rig.deliver(env, value);
+  ASSERT_TRUE(s2.put_pkt("k", *pkts[0], pkts[0]->payload_off, 100).ok());
+  rig.pool.free(pkts[0]);
+  EXPECT_EQ(s2.stat("k")->hw_tstamp, 0);
+}
+
+// ---------- PmFs ----------
+
+class PmFsTest : public ::testing::Test {
+ protected:
+  sim::Env env;
+  PmRig rig{env};
+  PmFs fs{PmFs::create(rig.pool, "fs")};
+};
+
+TEST_F(PmFsTest, WriteReadRoundTrip) {
+  const auto data = rand_bytes(10000, 20);
+  ASSERT_TRUE(fs.write_file("/data/blob.bin", data).ok());
+  EXPECT_EQ(fs.read_file("/data/blob.bin").value(), data);
+  EXPECT_TRUE(fs.verify("/data/blob.bin").ok());
+}
+
+TEST_F(PmFsTest, EmptyFile) {
+  ASSERT_TRUE(fs.write_file("/empty", {}).ok());
+  EXPECT_TRUE(fs.read_file("/empty").value().empty());
+  EXPECT_EQ(fs.stat("/empty")->size, 0u);
+  EXPECT_EQ(fs.stat("/empty")->extents, 0u);
+}
+
+TEST_F(PmFsTest, StatReportsExtentsAndTimestamps) {
+  const auto data = rand_bytes(5000, 21);
+  ASSERT_TRUE(fs.write_file("/f", data).ok());
+  const auto st = fs.stat("/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 5000u);
+  EXPECT_EQ(st->extents, (5000 + net::kMss - 1) / net::kMss);
+  EXPECT_GT(st->mtime, 0);
+}
+
+TEST_F(PmFsTest, IngestFromNetworkPackets) {
+  const auto data = rand_bytes(1400, 22);
+  auto pkts = rig.deliver(env, data);
+  ASSERT_EQ(pkts.size(), 1u);
+  const u32 offs[1] = {pkts[0]->payload_off};
+  const u32 lens[1] = {1400};
+  ASSERT_TRUE(fs.ingest_file("/net/file", pkts, offs, lens).ok());
+  rig.pool.free(pkts[0]);
+  EXPECT_EQ(fs.read_file("/net/file").value(), data);
+  // mtime comes from the NIC hardware timestamp.
+  EXPECT_GT(fs.stat("/net/file")->mtime, 0);
+  EXPECT_TRUE(fs.verify("/net/file").ok());
+}
+
+TEST_F(PmFsTest, OverwriteReplacesContents) {
+  ASSERT_TRUE(fs.write_file("/f", rand_bytes(100, 23)).ok());
+  ASSERT_TRUE(fs.write_file("/f", rand_bytes(200, 24)).ok());
+  EXPECT_EQ(fs.read_file("/f").value(), rand_bytes(200, 24));
+  EXPECT_EQ(fs.file_count(), 1u);
+}
+
+TEST_F(PmFsTest, UnlinkReclaims) {
+  const u64 empty = rig.pmpool.allocated_bytes();
+  ASSERT_TRUE(fs.write_file("/f", rand_bytes(3000, 25)).ok());
+  EXPECT_TRUE(fs.unlink("/f"));
+  EXPECT_FALSE(fs.unlink("/f"));
+  EXPECT_EQ(fs.read_file("/f").errc(), Errc::not_found);
+  EXPECT_EQ(rig.pmpool.allocated_bytes(), empty);
+}
+
+TEST_F(PmFsTest, ListOrdered) {
+  ASSERT_TRUE(fs.write_file("/b", rand_bytes(10, 26)).ok());
+  ASSERT_TRUE(fs.write_file("/a", rand_bytes(10, 27)).ok());
+  ASSERT_TRUE(fs.write_file("/c", rand_bytes(10, 28)).ok());
+  std::string names;
+  fs.list([&](std::string_view p, const PmFs::FileStat&) {
+    names += p;
+    return true;
+  });
+  EXPECT_EQ(names, "/a/b/c");
+}
+
+TEST_F(PmFsTest, EmitPktsSendfileStyle) {
+  const auto data = rand_bytes(6000, 29);
+  ASSERT_TRUE(fs.write_file("/f", data).ok());
+  auto pkts = fs.emit_pkts("/f");
+  ASSERT_TRUE(pkts.ok());
+  std::vector<u8> assembled;
+  for (PktBuf* pb : pkts.value()) {
+    const auto bytes = net::super_payload(rig.pool, *pb);
+    assembled.insert(assembled.end(), bytes.begin(), bytes.end());
+    rig.pool.free(pb);
+  }
+  EXPECT_EQ(assembled, data);
+}
+
+TEST_F(PmFsTest, NameValidation) {
+  EXPECT_EQ(fs.write_file("", rand_bytes(1, 30)).errc(), Errc::invalid_argument);
+  EXPECT_EQ(fs.write_file(std::string(200, 'x'), rand_bytes(1, 31)).errc(),
+            Errc::invalid_argument);
+}
+
+TEST_F(PmFsTest, CrashRecovery) {
+  std::map<std::string, std::vector<u8>> model;
+  for (int i = 0; i < 20; i++) {
+    const std::string path = "/dir/file" + std::to_string(i);
+    auto data = rand_bytes(500 + static_cast<std::size_t>(i) * 211, 300 + i);
+    ASSERT_TRUE(fs.write_file(path, data).ok());
+    model[path] = std::move(data);
+  }
+  rig.dev.crash();
+
+  auto pmpool2 = pm::PmPool::recover(rig.dev, "pkts");
+  ASSERT_TRUE(pmpool2.ok());
+  net::PmArena arena2(rig.dev, pmpool2.value());
+  net::PktBufPool pool2(env, arena2);
+  auto rec = PmFs::recover(pool2, "fs");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->file_count(), model.size());
+  for (const auto& [p, d] : model) {
+    ASSERT_TRUE(rec->verify(p).ok()) << p;
+    EXPECT_EQ(rec->read_file(p).value(), d) << p;
+  }
+  EXPECT_TRUE(rec->unlink("/dir/file0"));
+  ASSERT_TRUE(rec->write_file("/post-crash", rand_bytes(100, 888)).ok());
+  EXPECT_EQ(rec->file_count(), model.size());
+}
+
+}  // namespace
+}  // namespace papm::core

@@ -1,0 +1,157 @@
+// Tests for the HTTP/1.1 codec and incremental parsers.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "http/http.h"
+
+namespace papm::http {
+namespace {
+
+std::vector<u8> bytes(std::string_view s) { return {s.begin(), s.end()}; }
+std::string str(const std::vector<u8>& v) { return {v.begin(), v.end()}; }
+
+TEST(HttpSerialize, PutRequestWithBody) {
+  Request req;
+  req.method = Method::put;
+  req.target = "/kv/key1";
+  req.body = bytes("value-bytes");
+  const std::string s = str(serialize(req));
+  EXPECT_NE(s.find("PUT /kv/key1 HTTP/1.1\r\n"), std::string::npos);
+  EXPECT_NE(s.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_TRUE(s.ends_with("\r\n\r\nvalue-bytes"));
+}
+
+TEST(HttpSerialize, ResponseStatusLine) {
+  Response resp;
+  resp.status = 404;
+  const std::string s = str(serialize(resp));
+  EXPECT_TRUE(s.starts_with("HTTP/1.1 404 Not Found\r\n"));
+  EXPECT_NE(s.find("Content-Length: 0\r\n"), std::string::npos);
+}
+
+TEST(HttpParse, RequestRoundTrip) {
+  Request req;
+  req.method = Method::put;
+  req.target = "/kv/abc";
+  req.headers.emplace_back("X-Custom", "yes");
+  req.body = bytes("0123456789");
+  RequestParser p;
+  const auto parsed = p.feed(serialize(req));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, Method::put);
+  EXPECT_EQ(parsed->target, "/kv/abc");
+  EXPECT_EQ(parsed->header("x-custom"), "yes");  // case-insensitive
+  EXPECT_EQ(parsed->body, req.body);
+  EXPECT_EQ(p.pending(), 0u);
+}
+
+TEST(HttpParse, GetAndDeleteMethods) {
+  RequestParser p;
+  auto r = p.feed(bytes("GET /k HTTP/1.1\r\nContent-Length: 0\r\n\r\n"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->method, Method::get);
+  r = p.feed(bytes("DELETE /k HTTP/1.1\r\nContent-Length: 0\r\n\r\n"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->method, Method::del);
+}
+
+TEST(HttpParse, MissingContentLengthMeansEmptyBody) {
+  RequestParser p;
+  const auto r = p.feed(bytes("GET /x HTTP/1.1\r\n\r\n"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->body.empty());
+}
+
+TEST(HttpParse, SplitAcrossSegments) {
+  Request req;
+  req.method = Method::put;
+  req.target = "/kv/split";
+  req.body = bytes(std::string(3000, 'z'));  // spans >1 MSS
+  const auto wire = serialize(req);
+
+  RequestParser p;
+  // Feed byte ranges of varying sizes.
+  std::optional<Request> got;
+  std::size_t off = 0;
+  const std::size_t chunks[] = {1, 7, 100, 1460, 1460, 10000};
+  for (std::size_t c : chunks) {
+    const std::size_t n = std::min(c, wire.size() - off);
+    auto r = p.feed(std::span<const u8>(wire.data() + off, n));
+    off += n;
+    if (r.has_value()) {
+      got = std::move(r);
+      break;
+    }
+  }
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->body.size(), 3000u);
+  EXPECT_EQ(got->target, "/kv/split");
+}
+
+TEST(HttpParse, PipelinedRequests) {
+  Request a, b;
+  a.method = Method::put;
+  a.target = "/a";
+  a.body = bytes("111");
+  b.method = Method::get;
+  b.target = "/b";
+  auto wire = serialize(a);
+  const auto wb = serialize(b);
+  wire.insert(wire.end(), wb.begin(), wb.end());
+
+  RequestParser p;
+  const auto first = p.feed(wire);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->target, "/a");
+  const auto second = p.feed({});
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->target, "/b");
+  EXPECT_FALSE(p.feed({}).has_value());
+}
+
+TEST(HttpParse, MalformedStartLineFails) {
+  RequestParser p;
+  EXPECT_FALSE(p.feed(bytes("NONSENSE\r\n\r\n")).has_value());
+  EXPECT_TRUE(p.failed());
+  // A failed parser stays failed.
+  EXPECT_FALSE(p.feed(bytes("GET /x HTTP/1.1\r\n\r\n")).has_value());
+}
+
+TEST(HttpParse, BadContentLengthFails) {
+  RequestParser p;
+  EXPECT_FALSE(
+      p.feed(bytes("PUT /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n"))
+          .has_value());
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(HttpParse, ResponseRoundTrip) {
+  Response resp;
+  resp.status = 201;
+  resp.body = bytes("stored");
+  ResponseParser p;
+  const auto parsed = p.feed(serialize(resp));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 201);
+  EXPECT_EQ(str(parsed->body), "stored");
+}
+
+TEST(HttpParse, ResponseSplitHeaderBoundary) {
+  Response resp;
+  resp.status = 200;
+  resp.body = bytes("xyz");
+  const auto wire = serialize(resp);
+  ResponseParser p;
+  // Split exactly between header block and body.
+  const std::string s = str(wire);
+  const std::size_t head_end = s.find("\r\n\r\n") + 4;
+  EXPECT_FALSE(p.feed(std::span<const u8>(wire.data(), head_end)).has_value());
+  const auto got =
+      p.feed(std::span<const u8>(wire.data() + head_end, wire.size() - head_end));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(str(got->body), "xyz");
+}
+
+}  // namespace
+}  // namespace papm::http

@@ -1,0 +1,649 @@
+// Tests for net/ + nic/: header codecs, PktBuf clone semantics, GSO, and
+// end-to-end TCP between two simulated hosts over the fabric — including
+// loss, reordering and corruption recovery.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <string>
+
+#include "net/gso.h"
+#include "net/tcp.h"
+#include "nic/nic.h"
+
+namespace papm::net {
+namespace {
+
+std::vector<u8> rand_bytes(std::size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<u8> v(n);
+  for (auto& b : v) b = static_cast<u8>(rng.next());
+  return v;
+}
+
+// ---------- headers ----------
+
+TEST(Headers, EthRoundTrip) {
+  EthHeader h;
+  h.src.b[5] = 0x11;
+  h.dst.b[0] = 0xaa;
+  h.ethertype = kEtherTypeIpv4;
+  std::vector<u8> buf(kEthHdrLen);
+  EXPECT_EQ(encode_eth(h, buf), kEthHdrLen);
+  const auto d = decode_eth(buf);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src, h.src);
+  EXPECT_EQ(d->dst, h.dst);
+  EXPECT_EQ(d->ethertype, kEtherTypeIpv4);
+}
+
+TEST(Headers, IpRoundTripAndChecksum) {
+  IpHeader h;
+  h.src = 0x0a000001;
+  h.dst = 0x0a000002;
+  h.total_len = 1234;
+  h.ident = 42;
+  std::vector<u8> buf(2048);
+  encode_ip(h, buf);
+  const auto d = decode_ip(std::span<const u8>(buf.data(), 2048));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src, h.src);
+  EXPECT_EQ(d->dst, h.dst);
+  EXPECT_EQ(d->total_len, 1234);
+  EXPECT_EQ(d->ident, 42);
+
+  // Any single-bit flip in the header must be rejected.
+  buf[8] ^= 0x01;
+  EXPECT_FALSE(decode_ip(std::span<const u8>(buf.data(), 2048)).has_value());
+}
+
+TEST(Headers, TcpRoundTrip) {
+  TcpHeader h;
+  h.src_port = 33000;
+  h.dst_port = 80;
+  h.seq = 0xdeadbeef;
+  h.ack = 0xcafef00d;
+  h.flags = kTcpAck | kTcpPsh;
+  h.window = 512;
+  h.checksum = 0x1234;
+  std::vector<u8> buf(kTcpHdrLen);
+  encode_tcp(h, buf);
+  const auto d = decode_tcp(buf);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src_port, h.src_port);
+  EXPECT_EQ(d->dst_port, h.dst_port);
+  EXPECT_EQ(d->seq, h.seq);
+  EXPECT_EQ(d->ack, h.ack);
+  EXPECT_EQ(d->flags, h.flags);
+  EXPECT_EQ(d->window, h.window);
+  EXPECT_EQ(d->checksum, h.checksum);
+}
+
+TEST(Headers, TcpChecksumVerifies) {
+  const auto payload = rand_bytes(333, 5);
+  TcpHeader h;
+  h.src_port = 1;
+  h.dst_port = 2;
+  std::vector<u8> hdr(kTcpHdrLen);
+  encode_tcp(h, hdr);
+  const u16 csum = tcp_checksum(0x0a000001, 0x0a000002, hdr, payload);
+  // Receiver: sum over pseudo + header-with-csum + payload folds to 0xffff.
+  hdr[16] = static_cast<u8>(csum >> 8);
+  hdr[17] = static_cast<u8>(csum & 0xff);
+  u32 sum = tcp_pseudo_sum(0x0a000001, 0x0a000002, hdr.size() + payload.size());
+  sum += inet_sum(hdr);
+  sum += inet_sum(payload);
+  EXPECT_EQ(inet_fold(sum), 0xffffu);
+}
+
+class PayloadCsumDerive : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PayloadCsumDerive, MatchesDirectComputation) {
+  // The §4.2 trick: payload checksum from the NIC's checksum-complete sum.
+  const auto payload = rand_bytes(GetParam(), GetParam() + 99);
+  TcpHeader h;
+  h.src_port = 7;
+  h.dst_port = 8;
+  h.seq = 123456;
+  std::vector<u8> hdr(kTcpHdrLen);
+  encode_tcp(h, hdr);
+  const u16 csum = tcp_checksum(1, 2, hdr, payload);
+  hdr[16] = static_cast<u8>(csum >> 8);
+  hdr[17] = static_cast<u8>(csum & 0xff);
+
+  std::vector<u8> seg(hdr);
+  seg.insert(seg.end(), payload.begin(), payload.end());
+  const u32 full_sum = inet_sum(seg);
+  EXPECT_EQ(payload_csum_from_complete(full_sum, hdr), inet_checksum(payload))
+      << "payload size " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PayloadCsumDerive,
+                         ::testing::Values(0, 1, 2, 3, 64, 333, 1024, 1460));
+
+TEST(PayloadCsum, AllZeroPayloadNormalized) {
+  std::vector<u8> payload(1024, 0);
+  TcpHeader h;
+  std::vector<u8> hdr(kTcpHdrLen);
+  encode_tcp(h, hdr);
+  const u16 csum = tcp_checksum(1, 2, hdr, payload);
+  hdr[16] = static_cast<u8>(csum >> 8);
+  hdr[17] = static_cast<u8>(csum & 0xff);
+  std::vector<u8> seg(hdr);
+  seg.insert(seg.end(), payload.begin(), payload.end());
+  EXPECT_EQ(payload_csum_from_complete(inet_sum(seg), hdr),
+            inet_checksum(payload));
+}
+
+// ---------- PktBuf pool ----------
+
+class PktBufTest : public ::testing::Test {
+ protected:
+  sim::Env env;
+  HeapArena arena{env};
+  PktBufPool pool{env, arena};
+};
+
+TEST_F(PktBufTest, AllocInitializesMetadata) {
+  PktBuf* pb = pool.alloc(256);
+  ASSERT_NE(pb, nullptr);
+  EXPECT_EQ(pb->cap, 256u);
+  EXPECT_EQ(pb->len, 0u);
+  EXPECT_EQ(pb->nr_frags, 0);
+  EXPECT_EQ(pool.live_metadata(), 1u);
+  EXPECT_EQ(pool.live_data_blocks(), 1u);
+  pool.free(pb);
+  EXPECT_EQ(pool.live_metadata(), 0u);
+  EXPECT_EQ(pool.live_data_blocks(), 0u);
+}
+
+TEST_F(PktBufTest, MetadataRecycled) {
+  PktBuf* a = pool.alloc(64);
+  pool.free(a);
+  PktBuf* b = pool.alloc(64);
+  EXPECT_EQ(a, b);  // freelist reuse
+  pool.free(b);
+}
+
+TEST_F(PktBufTest, CloneSharesDataUntilLastRef) {
+  PktBuf* pb = pool.alloc(128);
+  pb->len = 5;
+  std::memcpy(pool.writable(*pb, 5).data(), "hello", 5);
+  PktBuf* c = pool.clone(*pb);
+  EXPECT_EQ(c->data_h, pb->data_h);
+  EXPECT_EQ(pool.live_data_blocks(), 1u);
+  EXPECT_EQ(pool.live_metadata(), 2u);
+
+  pool.free(pb);  // original goes; data survives via clone
+  EXPECT_EQ(pool.live_data_blocks(), 1u);
+  EXPECT_EQ(std::memcmp(pool.data(*c), "hello", 5), 0);
+  pool.free(c);
+  EXPECT_EQ(pool.live_data_blocks(), 0u);
+}
+
+TEST_F(PktBufTest, AdoptDataOutlivesMetadata) {
+  PktBuf* pb = pool.alloc(64);
+  pb->len = 3;
+  std::memcpy(pool.writable(*pb, 3).data(), "abc", 3);
+  const u64 h = pool.adopt_data(*pb);
+  pool.free(pb);
+  // Data still resolvable through the arena.
+  EXPECT_EQ(std::memcmp(arena.data(h, 3), "abc", 3), 0);
+  pool.unref_data(h, 64);
+  EXPECT_EQ(pool.live_data_blocks(), 0u);
+}
+
+TEST_F(PktBufTest, CloneTimestampsAndChecksumsCopied) {
+  PktBuf* pb = pool.alloc(64);
+  pb->hw_tstamp = 777;
+  pb->payload_csum = 0xabcd;
+  pb->csum_verified = true;
+  PktBuf* c = pool.clone(*pb);
+  EXPECT_EQ(c->hw_tstamp, 777);
+  EXPECT_EQ(c->payload_csum, 0xabcd);
+  EXPECT_TRUE(c->csum_verified);
+  pool.free(pb);
+  pool.free(c);
+}
+
+TEST_F(PktBufTest, FragsRefcounted) {
+  PktBuf* pb = pool.alloc(64);
+  auto fh = arena.alloc(4096);
+  ASSERT_TRUE(fh.ok());
+  ASSERT_TRUE(pool.add_frag(*pb, fh.value(), 4096).ok());
+  PktBuf* c = pool.clone(*pb);
+  pool.free(pb);
+  // Frag survives through the clone.
+  (void)arena.data(fh.value(), 4096);
+  pool.free(c);
+  EXPECT_EQ(pool.live_data_blocks(), 0u);
+}
+
+// ---------- GSO ----------
+
+TEST_F(PktBufTest, SuperPacketRoundTrip) {
+  const auto payload = rand_bytes(10000, 11);
+  PktBuf* super = make_super(pool, payload, kAllHdrLen);
+  ASSERT_NE(super, nullptr);
+  EXPECT_EQ(super->total_len() - super->payload_off, payload.size());
+  EXPECT_EQ(super_payload(pool, *super), payload);
+  pool.free(super);
+}
+
+TEST_F(PktBufTest, GsoSegmentsReassembleToPayload) {
+  const auto payload = rand_bytes(5000, 12);
+  PktBuf* super = make_super(pool, payload, kAllHdrLen);
+  ASSERT_NE(super, nullptr);
+  auto segs = gso_segment(pool, *super, /*charge_copy=*/true);
+  ASSERT_EQ(segs.size(), (payload.size() + kMss - 1) / kMss);
+  std::vector<u8> got;
+  for (PktBuf* s : segs) {
+    EXPECT_LE(s->payload_len(), kMss);
+    const auto p = pool.payload(*s);
+    got.insert(got.end(), p.begin(), p.end());
+    pool.free(s);
+  }
+  EXPECT_EQ(got, payload);
+  pool.free(super);
+}
+
+TEST_F(PktBufTest, GsoChargesCopyTsoDoesNot) {
+  const auto payload = rand_bytes(8000, 13);
+  PktBuf* super = make_super(pool, payload, kAllHdrLen);
+  ASSERT_NE(super, nullptr);
+
+  SimTime t0 = env.now();
+  auto sw = gso_segment(pool, *super, /*charge_copy=*/true);
+  const SimTime sw_cost = env.now() - t0;
+  for (auto* s : sw) pool.free(s);
+
+  t0 = env.now();
+  auto hw = gso_segment(pool, *super, /*charge_copy=*/false);
+  const SimTime hw_cost = env.now() - t0;
+  for (auto* s : hw) pool.free(s);
+  pool.free(super);
+
+  EXPECT_GT(sw_cost, hw_cost + env.cost.copy_cost(payload.size()) / 2);
+}
+
+TEST_F(PktBufTest, SuperPacketTooLargeRejected) {
+  std::vector<u8> huge(PktBuf::kMaxFrags * kFragPage + 1, 0);
+  EXPECT_EQ(make_super(pool, huge, kAllHdrLen), nullptr);
+}
+
+// ---------- end-to-end TCP ----------
+
+struct TestHost {
+  TestHost(sim::Env& env, nic::Fabric& fabric, u32 ip, bool busy_poll,
+           nic::Nic::Options nic_opts = nic::Nic::Options())
+      : arena(env),
+        pool(env, arena),
+        nic(env, fabric, ip, pool, nic_opts),
+        stack(env, nic, pool,
+              [&] {
+                net::TcpStack::Options o;
+                o.ip = ip;
+                o.busy_poll = busy_poll;
+                o.csum_offload_tx = nic_opts.csum_offload_tx;
+                o.csum_offload_rx = nic_opts.csum_offload_rx;
+                return o;
+              }()) {
+    nic.set_sink([this](PktBuf* pb) { stack.rx(pb); });
+  }
+
+  HeapArena arena;
+  PktBufPool pool;
+  nic::Nic nic;
+  TcpStack stack;
+};
+
+constexpr u32 kClientIp = 0x0a000001;
+constexpr u32 kServerIp = 0x0a000002;
+constexpr u16 kPort = 9000;
+
+class TcpE2E : public ::testing::Test {
+ protected:
+  sim::Env env;
+  nic::Fabric fabric{env};
+  TestHost client{env, fabric, kClientIp, /*busy_poll=*/false};
+  TestHost server{env, fabric, kServerIp, /*busy_poll=*/true};
+};
+
+TEST_F(TcpE2E, HandshakeEstablishesBothSides) {
+  TcpConn* accepted = nullptr;
+  SimTime established_at = 0;
+  ASSERT_TRUE(server.stack.listen(kPort, [&](TcpConn& c) { accepted = &c; }).ok());
+  TcpConn* c = client.stack.connect(kServerIp, kPort);
+  c->on_established = [&](TcpConn&) { established_at = env.now(); };
+  env.engine.run_until_idle();
+  EXPECT_EQ(c->state(), TcpState::established);
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(accepted->state(), TcpState::established);
+  EXPECT_EQ(accepted->peer_ip(), kClientIp);
+  // Handshake RTT must be sane (a few tens of us; the idle clock runs
+  // further because disarmed RTO timers still fire as no-ops).
+  EXPECT_GT(established_at, 2 * env.cost.fabric_propagation_ns);
+  EXPECT_LT(established_at, 100 * kNsPerUs);
+}
+
+TEST_F(TcpE2E, SmallEcho) {
+  std::vector<u8> server_got, client_got;
+  ASSERT_TRUE(server.stack
+                  .listen(kPort,
+                          [&](TcpConn& c) {
+                            c.on_readable = [&](TcpConn& cc) {
+                              std::vector<u8> buf(64);
+                              const auto n = cc.read(buf);
+                              buf.resize(n);
+                              server_got.insert(server_got.end(), buf.begin(),
+                                                buf.end());
+                              (void)cc.send(buf);  // echo
+                            };
+                          })
+                  .ok());
+  TcpConn* c = client.stack.connect(kServerIp, kPort);
+  c->on_established = [&](TcpConn& cc) {
+    const std::string msg = "hello, storage";
+    (void)cc.send(std::span<const u8>(
+        reinterpret_cast<const u8*>(msg.data()), msg.size()));
+  };
+  c->on_readable = [&](TcpConn& cc) {
+    std::vector<u8> buf(64);
+    const auto n = cc.read(buf);
+    client_got.insert(client_got.end(), buf.begin(), buf.begin() + static_cast<long>(n));
+  };
+  env.engine.run_until_idle();
+  EXPECT_EQ(std::string(server_got.begin(), server_got.end()), "hello, storage");
+  EXPECT_EQ(std::string(client_got.begin(), client_got.end()), "hello, storage");
+}
+
+TEST_F(TcpE2E, ZeroCopyReceiveCarriesMetadata) {
+  std::vector<PktBuf*> got;
+  ASSERT_TRUE(server.stack
+                  .listen(kPort,
+                          [&](TcpConn& c) {
+                            c.on_readable = [&](TcpConn& cc) {
+                              for (PktBuf* pb : cc.read_pkts()) got.push_back(pb);
+                            };
+                          })
+                  .ok());
+  TcpConn* c = client.stack.connect(kServerIp, kPort);
+  const auto payload = rand_bytes(1024, 21);
+  c->on_established = [&](TcpConn& cc) { (void)cc.send(payload); };
+  env.engine.run_until_idle();
+
+  ASSERT_EQ(got.size(), 1u);
+  PktBuf* pb = got[0];
+  EXPECT_TRUE(pb->csum_verified);
+  EXPECT_GT(pb->hw_tstamp, 0);
+  // The derived payload checksum matches a direct computation — this is
+  // the integrity word pktstore will persist.
+  EXPECT_EQ(pb->payload_csum, inet_checksum(payload));
+  const auto view = server.pool.payload(*pb);
+  EXPECT_TRUE(std::equal(view.begin(), view.end(), payload.begin()));
+  server.pool.free(pb);
+}
+
+TEST_F(TcpE2E, LargeTransferSegmentsAtMss) {
+  const auto data = rand_bytes(100 * 1024, 31);
+  std::vector<u8> got;
+  ASSERT_TRUE(server.stack
+                  .listen(kPort,
+                          [&](TcpConn& c) {
+                            c.on_readable = [&](TcpConn& cc) {
+                              std::vector<u8> buf(4096);
+                              std::size_t n;
+                              while ((n = cc.read(buf)) > 0) {
+                                got.insert(got.end(), buf.begin(),
+                                           buf.begin() + static_cast<long>(n));
+                              }
+                            };
+                          })
+                  .ok());
+  TcpConn* c = client.stack.connect(kServerIp, kPort);
+  c->on_established = [&](TcpConn& cc) { (void)cc.send(data); };
+  env.engine.run_until_idle();
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(c->retransmits(), 0u);
+  EXPECT_EQ(c->rtx_queued(), 0u);  // everything acked
+}
+
+class TcpLossy : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(TcpLossy, ReliableUnderLossAndReorder) {
+  const auto [loss, reorder] = GetParam();
+  sim::Env env;
+  nic::Fabric fabric(env, {loss, reorder, 20 * kNsPerUs, 0.0});
+  TestHost client(env, fabric, kClientIp, false);
+  TestHost server(env, fabric, kServerIp, true);
+
+  const auto data = rand_bytes(200 * 1024, 41);
+  std::vector<u8> got;
+  ASSERT_TRUE(server.stack
+                  .listen(kPort,
+                          [&](TcpConn& c) {
+                            c.on_readable = [&](TcpConn& cc) {
+                              std::vector<u8> buf(8192);
+                              std::size_t n;
+                              while ((n = cc.read(buf)) > 0) {
+                                got.insert(got.end(), buf.begin(),
+                                           buf.begin() + static_cast<long>(n));
+                              }
+                            };
+                          })
+                  .ok());
+  TcpConn* c = client.stack.connect(kServerIp, kPort);
+  c->on_established = [&](TcpConn& cc) { (void)cc.send(data); };
+  env.engine.run_until_idle();
+  ASSERT_EQ(got.size(), data.size());
+  EXPECT_EQ(got, data);
+  if (loss > 0) EXPECT_GT(c->retransmits(), 0u);
+  if (reorder > 0) EXPECT_GT(fabric.reordered(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conditions, TcpLossy,
+    ::testing::Values(std::make_tuple(0.01, 0.0), std::make_tuple(0.05, 0.0),
+                      std::make_tuple(0.0, 0.1), std::make_tuple(0.02, 0.1),
+                      std::make_tuple(0.0, 0.3)));
+
+TEST_F(TcpE2E, CorruptionCaughtByChecksumAndRecovered) {
+  fabric.set_options({0.0, 0.0, 0, /*corrupt_p=*/0.05});
+  const auto data = rand_bytes(64 * 1024, 51);
+  std::vector<u8> got;
+  ASSERT_TRUE(server.stack
+                  .listen(kPort,
+                          [&](TcpConn& c) {
+                            c.on_readable = [&](TcpConn& cc) {
+                              std::vector<u8> buf(8192);
+                              std::size_t n;
+                              while ((n = cc.read(buf)) > 0) {
+                                got.insert(got.end(), buf.begin(),
+                                           buf.begin() + static_cast<long>(n));
+                              }
+                            };
+                          })
+                  .ok());
+  TcpConn* c = client.stack.connect(kServerIp, kPort);
+  c->on_established = [&](TcpConn& cc) { (void)cc.send(data); };
+  env.engine.run_until_idle();
+  EXPECT_EQ(got, data);
+  EXPECT_GT(fabric.corrupted(), 0u);
+  // Corruption is caught by either the NIC (TCP csum) or IP header check.
+  EXPECT_GT(server.nic.rx_csum_errors() + server.nic.rx_drops() +
+                client.nic.rx_csum_errors() + client.nic.rx_drops(),
+            0u);
+}
+
+TEST_F(TcpE2E, SoftwareChecksumPathWorks) {
+  sim::Env env2;
+  nic::Fabric fabric2(env2);
+  nic::Nic::Options no_offload;
+  no_offload.csum_offload_tx = false;
+  no_offload.csum_offload_rx = false;
+  TestHost c2(env2, fabric2, kClientIp, false, no_offload);
+  TestHost s2(env2, fabric2, kServerIp, true, no_offload);
+
+  std::vector<u8> got;
+  ASSERT_TRUE(s2.stack
+                  .listen(kPort,
+                          [&](TcpConn& c) {
+                            c.on_readable = [&](TcpConn& cc) {
+                              std::vector<u8> buf(4096);
+                              std::size_t n;
+                              while ((n = cc.read(buf)) > 0) {
+                                got.insert(got.end(), buf.begin(),
+                                           buf.begin() + static_cast<long>(n));
+                              }
+                            };
+                          })
+                  .ok());
+  const auto data = rand_bytes(10 * 1024, 61);
+  TcpConn* c = c2.stack.connect(kServerIp, kPort);
+  c->on_established = [&](TcpConn& cc) { (void)cc.send(data); };
+  env2.engine.run_until_idle();
+  EXPECT_EQ(got, data);
+}
+
+TEST_F(TcpE2E, ZeroCopySendPkt) {
+  std::vector<u8> got;
+  ASSERT_TRUE(server.stack
+                  .listen(kPort,
+                          [&](TcpConn& c) {
+                            c.on_readable = [&](TcpConn& cc) {
+                              std::vector<u8> buf(4096);
+                              std::size_t n;
+                              while ((n = cc.read(buf)) > 0) {
+                                got.insert(got.end(), buf.begin(),
+                                           buf.begin() + static_cast<long>(n));
+                              }
+                            };
+                          })
+                  .ok());
+  TcpConn* c = client.stack.connect(kServerIp, kPort);
+  const auto payload = rand_bytes(900, 71);
+  c->on_established = [&](TcpConn& cc) {
+    PktBuf* pb = client.pool.alloc(static_cast<u32>(kAllHdrLen + payload.size()));
+    ASSERT_NE(pb, nullptr);
+    pb->len = static_cast<u32>(kAllHdrLen + payload.size());
+    pb->payload_off = kAllHdrLen;
+    std::memcpy(client.pool.writable(*pb, pb->len).data() + kAllHdrLen,
+                payload.data(), payload.size());
+    EXPECT_TRUE(cc.send_pkt(pb).ok());
+  };
+  env.engine.run_until_idle();
+  EXPECT_EQ(got, payload);
+}
+
+TEST_F(TcpE2E, GracefulCloseBothDirections) {
+  bool server_closed = false, client_closed = false;
+  TcpConn* srv_conn = nullptr;
+  ASSERT_TRUE(server.stack
+                  .listen(kPort,
+                          [&](TcpConn& c) {
+                            srv_conn = &c;
+                            c.on_closed = [&](TcpConn&) { server_closed = true; };
+                            c.on_readable = [&](TcpConn& cc) {
+                              // FIN arrived (EOF): close our side too.
+                              if (cc.readable_bytes() == 0 &&
+                                  cc.state() == TcpState::close_wait) {
+                                cc.close();
+                              }
+                            };
+                          })
+                  .ok());
+  TcpConn* c = client.stack.connect(kServerIp, kPort);
+  c->on_closed = [&](TcpConn&) { client_closed = true; };
+  c->on_established = [&](TcpConn& cc) { cc.close(); };
+  env.engine.run_until_idle();
+  EXPECT_EQ(c->state(), TcpState::closed);
+  ASSERT_NE(srv_conn, nullptr);
+  EXPECT_EQ(srv_conn->state(), TcpState::closed);
+  EXPECT_TRUE(server_closed);
+  EXPECT_TRUE(client_closed);
+}
+
+TEST_F(TcpE2E, RetransmissionClonesKeepDataIntact) {
+  // 100% loss initially: the segment's clone must survive in the rtx
+  // queue; when the fabric heals, RTO recovers delivery.
+  fabric.set_options({1.0, 0.0, 0, 0.0});
+  std::vector<u8> got;
+  ASSERT_TRUE(server.stack
+                  .listen(kPort,
+                          [&](TcpConn& c) {
+                            c.on_readable = [&](TcpConn& cc) {
+                              std::vector<u8> buf(4096);
+                              std::size_t n;
+                              while ((n = cc.read(buf)) > 0) {
+                                got.insert(got.end(), buf.begin(),
+                                           buf.begin() + static_cast<long>(n));
+                              }
+                            };
+                          })
+                  .ok());
+  TcpConn* c = client.stack.connect(kServerIp, kPort);
+  env.engine.run_until(2 * kNsPerMs);
+  EXPECT_EQ(c->state(), TcpState::syn_sent);
+  EXPECT_GT(c->retransmits(), 0u);  // SYN retried
+  fabric.set_options({0.0, 0.0, 0, 0.0});  // heal
+  const auto data = rand_bytes(3000, 81);
+  c->on_established = [&](TcpConn& cc) { (void)cc.send(data); };
+  env.engine.run_until_idle();
+  EXPECT_EQ(c->state(), TcpState::established);
+  EXPECT_EQ(got, data);
+}
+
+// ---------- PASTE: RX directly into PM ----------
+
+TEST(PastePm, ReceivedPayloadLandsInPmAndPersists) {
+  sim::Env env;
+  nic::Fabric fabric(env);
+  // Client: ordinary DRAM host.
+  TestHost client(env, fabric, kClientIp, false);
+  // Server: packet buffers in PM (PASTE).
+  pm::PmDevice dev(env, 8 << 20);
+  auto pmpool = pm::PmPool::create(dev, "pkts", dev.data_base(), (8 << 20) - 4096);
+  pmpool.set_charges(env.cost.pool_alloc_ns, env.cost.pool_alloc_ns / 2);
+  PmArena arena(dev, pmpool);
+  PktBufPool pool(env, arena);
+  nic::Nic snic(env, fabric, kServerIp, pool);
+  TcpStack::Options so;
+  so.ip = kServerIp;
+  so.busy_poll = true;
+  TcpStack sstack(env, snic, pool, so);
+  snic.set_sink([&](PktBuf* pb) { sstack.rx(pb); });
+
+  std::vector<PktBuf*> got;
+  ASSERT_TRUE(sstack
+                  .listen(kPort,
+                          [&](TcpConn& c) {
+                            c.on_readable = [&](TcpConn& cc) {
+                              for (PktBuf* pb : cc.read_pkts()) got.push_back(pb);
+                            };
+                          })
+                  .ok());
+  const auto payload = rand_bytes(1024, 91);
+  TcpConn* c = client.stack.connect(kServerIp, kPort);
+  c->on_established = [&](TcpConn& cc) { (void)cc.send(payload); };
+  env.engine.run_until_idle();
+
+  ASSERT_EQ(got.size(), 1u);
+  PktBuf* pb = got[0];
+  // The payload bytes are physically inside the PM device...
+  const u64 pm_off = pb->data_h + pb->payload_off;
+  EXPECT_EQ(std::memcmp(dev.at(pm_off, payload.size()), payload.data(),
+                        payload.size()),
+            0);
+  // ...but not yet durable (DMA only dirtied the lines).
+  // Persist, crash, and the bytes must survive.
+  dev.persist(pb->data_h, pb->len);
+  dev.crash();
+  EXPECT_EQ(std::memcmp(dev.at(pm_off, payload.size()), payload.data(),
+                        payload.size()),
+            0);
+  pool.free(pb);
+}
+
+}  // namespace
+}  // namespace papm::net

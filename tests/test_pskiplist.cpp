@@ -1,0 +1,227 @@
+// Tests for the persistent skip list: model equivalence, structural
+// validation, and — the part that matters for the paper — crash
+// consistency under randomly injected crashes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "container/pskiplist.h"
+
+namespace papm::container {
+namespace {
+
+constexpr u64 kDev = 8u << 20;
+
+class PSkipListTest : public ::testing::Test {
+ protected:
+  sim::Env env;
+  pm::PmDevice dev{env, kDev};
+  pm::PmPool pool{pm::PmPool::create(dev, "pool", dev.data_base(), kDev - 4096)};
+  PSkipList list{PSkipList::create(dev, pool, "index")};
+};
+
+TEST_F(PSkipListTest, EmptyLookup) {
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.get("nope").errc(), Errc::not_found);
+  EXPECT_FALSE(list.erase("nope"));
+  EXPECT_TRUE(list.validate().ok());
+}
+
+TEST_F(PSkipListTest, PutGetRoundTrip) {
+  ASSERT_TRUE(list.put("alpha", 111).ok());
+  ASSERT_TRUE(list.put("beta", 222).ok());
+  EXPECT_EQ(list.get("alpha").value(), 111u);
+  EXPECT_EQ(list.get("beta").value(), 222u);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_TRUE(list.validate().ok());
+}
+
+TEST_F(PSkipListTest, UpdateRepublishesPayloadOnly) {
+  ASSERT_TRUE(list.put("k", 1).ok());
+  const std::size_t before = list.size();
+  ASSERT_TRUE(list.put("k", 2).ok());
+  EXPECT_EQ(list.size(), before);
+  EXPECT_EQ(list.get("k").value(), 2u);
+}
+
+TEST_F(PSkipListTest, RejectsBadKeys) {
+  EXPECT_EQ(list.put("", 1).errc(), Errc::invalid_argument);
+}
+
+TEST_F(PSkipListTest, EraseThenReinsert) {
+  ASSERT_TRUE(list.put("x", 10).ok());
+  EXPECT_TRUE(list.erase("x"));
+  EXPECT_EQ(list.get("x").errc(), Errc::not_found);
+  EXPECT_EQ(list.size(), 0u);
+  ASSERT_TRUE(list.put("x", 20).ok());
+  EXPECT_EQ(list.get("x").value(), 20u);
+  EXPECT_TRUE(list.validate().ok());
+}
+
+TEST_F(PSkipListTest, ScanOrderedBounded) {
+  for (char c = 'a'; c <= 'j'; c++) {
+    ASSERT_TRUE(list.put(std::string(1, c), static_cast<u64>(c)).ok());
+  }
+  std::string visited;
+  list.scan("c", "g", [&](std::string_view k, u64) {
+    visited += k;
+    return true;
+  });
+  EXPECT_EQ(visited, "cdef");
+}
+
+TEST_F(PSkipListTest, ChargesTimeForOperations) {
+  const SimTime t0 = env.now();
+  ASSERT_TRUE(list.put("cost", 1).ok());
+  EXPECT_GT(env.now(), t0);  // alloc + node persist + publish
+  const SimTime t1 = env.now();
+  (void)list.get("cost");
+  EXPECT_GT(env.now(), t1);  // traversal charge
+}
+
+TEST_F(PSkipListTest, SurvivesCleanCrash) {
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(list.put("key" + std::to_string(i), static_cast<u64>(i)).ok());
+  }
+  dev.crash();
+  auto pool2 = pm::PmPool::recover(dev, "pool");
+  ASSERT_TRUE(pool2.ok());
+  auto rec = PSkipList::recover(dev, pool2.value(), "index");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size(), 200u);
+  EXPECT_TRUE(rec->validate().ok());
+  for (int i = 0; i < 200; i++) {
+    EXPECT_EQ(rec->get("key" + std::to_string(i)).value(), static_cast<u64>(i)) << i;
+  }
+}
+
+TEST_F(PSkipListTest, RecoverUnknownNameFails) {
+  EXPECT_EQ(PSkipList::recover(dev, pool, "ghost").errc(), Errc::not_found);
+}
+
+TEST_F(PSkipListTest, RecoveryReclaimsDeadNodes) {
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(list.put("k" + std::to_string(i), static_cast<u64>(i)).ok());
+  }
+  for (int i = 0; i < 50; i += 2) EXPECT_TRUE(list.erase("k" + std::to_string(i)));
+  dev.crash();
+  auto pool2 = pm::PmPool::recover(dev, "pool");
+  auto rec = PSkipList::recover(dev, pool2.value(), "index");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size(), 25u);
+  for (int i = 0; i < 50; i++) {
+    const auto got = rec->get("k" + std::to_string(i));
+    if (i % 2 == 0) {
+      EXPECT_FALSE(got.ok()) << i;
+    } else {
+      EXPECT_EQ(got.value(), static_cast<u64>(i)) << i;
+    }
+  }
+  EXPECT_TRUE(rec->validate().ok());
+}
+
+// The core crash-consistency property: crash at a random point during a
+// write burst; every key acknowledged (put returned) before the last
+// fence is either fully present with its final value or — only for the
+// in-flight unfenced operation — absent. Nothing is ever corrupted.
+class PSkipListCrashFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PSkipListCrashFuzz, CrashLeavesConsistentPrefix) {
+  sim::Env env;
+  env.rng = Rng(GetParam());
+  pm::PmDevice dev(env, kDev);
+  auto pool = pm::PmPool::create(dev, "pool", dev.data_base(), kDev - 4096);
+  auto list = PSkipList::create(dev, pool, "index");
+
+  Rng rng(GetParam() * 31 + 7);
+  std::map<std::string, u64> acked;  // fully completed operations
+  for (int i = 0; i < 300; i++) {
+    const std::string key = "key" + std::to_string(rng.next_below(150));
+    if (!acked.empty() && rng.chance(0.25)) {
+      list.erase(key);
+      acked.erase(key);
+    } else {
+      const u64 v = rng.next();
+      ASSERT_TRUE(list.put(key, v).ok());
+      acked[key] = v;
+    }
+  }
+  // Every completed put/erase ended with a fence, so the whole model
+  // must survive the crash.
+  dev.crash();
+
+  auto pool2 = pm::PmPool::recover(dev, "pool");
+  ASSERT_TRUE(pool2.ok());
+  auto rec = PSkipList::recover(dev, pool2.value(), "index");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->validate().ok());
+  EXPECT_EQ(rec->size(), acked.size());
+  for (const auto& [k, v] : acked) {
+    const auto got = rec->get(k);
+    ASSERT_TRUE(got.ok()) << k;
+    EXPECT_EQ(got.value(), v) << k;
+  }
+  // Scan yields exactly the model, in order.
+  auto mit = acked.begin();
+  rec->scan("", "", [&](std::string_view k, u64 v) {
+    EXPECT_NE(mit, acked.end());
+    EXPECT_EQ(k, mit->first);
+    EXPECT_EQ(v, mit->second);
+    ++mit;
+    return true;
+  });
+  EXPECT_EQ(mit, acked.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PSkipListCrashFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+// Model-equivalence fuzz without crashes (larger volume).
+class PSkipListFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PSkipListFuzz, MatchesMapModel) {
+  sim::Env env;
+  pm::PmDevice dev(env, kDev);
+  auto pool = pm::PmPool::create(dev, "pool", dev.data_base(), kDev - 4096);
+  auto list = PSkipList::create(dev, pool, "index");
+
+  std::map<std::string, u64> model;
+  Rng rng(GetParam());
+  for (int step = 0; step < 2500; step++) {
+    const std::string key = "k" + std::to_string(rng.next_below(400));
+    const double dice = rng.next_double();
+    if (dice < 0.55) {
+      const u64 v = rng.next();
+      ASSERT_TRUE(list.put(key, v).ok());
+      model[key] = v;
+    } else if (dice < 0.8) {
+      const auto got = list.get(key);
+      const auto mit = model.find(key);
+      if (mit == model.end()) {
+        EXPECT_FALSE(got.ok());
+      } else {
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(got.value(), mit->second);
+      }
+    } else {
+      EXPECT_EQ(list.erase(key), model.erase(key) > 0);
+    }
+  }
+  EXPECT_EQ(list.size(), model.size());
+  EXPECT_TRUE(list.validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PSkipListFuzz, ::testing::Values(101, 202, 303));
+
+TEST_F(PSkipListTest, LogarithmicVisits) {
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(list.put("key" + std::to_string(i), static_cast<u64>(i)).ok());
+  }
+  (void)list.get("key1000");
+  EXPECT_LT(list.last_visits(), 150u);
+}
+
+}  // namespace
+}  // namespace papm::container

@@ -1,0 +1,123 @@
+// Tests for the volatile skip list, checked against std::map as model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "container/skiplist.h"
+
+namespace papm::container {
+namespace {
+
+TEST(SkipList, EmptyLookup) {
+  SkipList sl;
+  EXPECT_EQ(sl.size(), 0u);
+  EXPECT_EQ(sl.get("missing").errc(), Errc::not_found);
+  EXPECT_FALSE(sl.erase("missing"));
+}
+
+TEST(SkipList, PutGetSingle) {
+  SkipList sl;
+  EXPECT_TRUE(sl.put("key", 42));
+  EXPECT_EQ(sl.size(), 1u);
+  EXPECT_EQ(sl.get("key").value(), 42u);
+}
+
+TEST(SkipList, PutOverwrites) {
+  SkipList sl;
+  EXPECT_TRUE(sl.put("key", 1));
+  EXPECT_FALSE(sl.put("key", 2));  // existing key
+  EXPECT_EQ(sl.size(), 1u);
+  EXPECT_EQ(sl.get("key").value(), 2u);
+}
+
+TEST(SkipList, EraseRemovesOnlyTarget) {
+  SkipList sl;
+  sl.put("a", 1);
+  sl.put("b", 2);
+  sl.put("c", 3);
+  EXPECT_TRUE(sl.erase("b"));
+  EXPECT_EQ(sl.size(), 2u);
+  EXPECT_EQ(sl.get("a").value(), 1u);
+  EXPECT_EQ(sl.get("b").errc(), Errc::not_found);
+  EXPECT_EQ(sl.get("c").value(), 3u);
+  EXPECT_FALSE(sl.erase("b"));
+}
+
+TEST(SkipList, ScanRangeOrderedAndBounded) {
+  SkipList sl;
+  for (char c = 'a'; c <= 'z'; c++) {
+    sl.put(std::string(1, c), static_cast<u64>(c));
+  }
+  std::string visited;
+  sl.scan("d", "h", [&](std::string_view k, u64) {
+    visited += k;
+    return true;
+  });
+  EXPECT_EQ(visited, "defg");
+}
+
+TEST(SkipList, ScanUnboundedAndEarlyStop) {
+  SkipList sl;
+  for (int i = 0; i < 10; i++) sl.put("k" + std::to_string(i), i);
+  int n = 0;
+  sl.scan("", "", [&](std::string_view, u64) { return ++n < 4; });
+  EXPECT_EQ(n, 4);
+}
+
+class SkipListFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SkipListFuzz, MatchesMapModel) {
+  SkipList sl;
+  std::map<std::string, u64> model;
+  Rng rng(GetParam());
+
+  for (int step = 0; step < 5000; step++) {
+    const std::string key = "k" + std::to_string(rng.next_below(300));
+    const double dice = rng.next_double();
+    if (dice < 0.5) {
+      const u64 v = rng.next();
+      sl.put(key, v);
+      model[key] = v;
+    } else if (dice < 0.75) {
+      const auto got = sl.get(key);
+      const auto mit = model.find(key);
+      if (mit == model.end()) {
+        EXPECT_FALSE(got.ok());
+      } else {
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(got.value(), mit->second);
+      }
+    } else {
+      EXPECT_EQ(sl.erase(key), model.erase(key) > 0);
+    }
+    ASSERT_EQ(sl.size(), model.size());
+  }
+
+  // Final full scan matches the model exactly, in order.
+  auto mit = model.begin();
+  sl.scan("", "", [&](std::string_view k, u64 v) {
+    EXPECT_NE(mit, model.end());
+    EXPECT_EQ(k, mit->first);
+    EXPECT_EQ(v, mit->second);
+    ++mit;
+    return true;
+  });
+  EXPECT_EQ(mit, model.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkipListFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55, 666));
+
+TEST(SkipList, VisitCountReasonable) {
+  SkipList sl;
+  for (int i = 0; i < 4096; i++) sl.put("key" + std::to_string(i), i);
+  (void)sl.get("key2000");
+  // O(log n): must touch far fewer nodes than a linear scan.
+  EXPECT_LT(sl.last_visits(), 200u);
+  EXPECT_GT(sl.last_visits(), 0u);
+}
+
+}  // namespace
+}  // namespace papm::container
