@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_homa.dir/bench_homa.cpp.o"
+  "CMakeFiles/bench_homa.dir/bench_homa.cpp.o.d"
+  "bench_homa"
+  "bench_homa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_homa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mica.dir/bench_mica.cpp.o"
+  "CMakeFiles/bench_mica.dir/bench_mica.cpp.o.d"
+  "bench_mica"
+  "bench_mica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

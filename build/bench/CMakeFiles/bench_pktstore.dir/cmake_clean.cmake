@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pktstore.dir/bench_pktstore.cpp.o"
+  "CMakeFiles/bench_pktstore.dir/bench_pktstore.cpp.o.d"
+  "bench_pktstore"
+  "bench_pktstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pktstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/client.cpp" "src/CMakeFiles/papm_app.dir/app/client.cpp.o" "gcc" "src/CMakeFiles/papm_app.dir/app/client.cpp.o.d"
+  "/root/repo/src/app/harness.cpp" "src/CMakeFiles/papm_app.dir/app/harness.cpp.o" "gcc" "src/CMakeFiles/papm_app.dir/app/harness.cpp.o.d"
+  "/root/repo/src/app/server.cpp" "src/CMakeFiles/papm_app.dir/app/server.cpp.o" "gcc" "src/CMakeFiles/papm_app.dir/app/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/papm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

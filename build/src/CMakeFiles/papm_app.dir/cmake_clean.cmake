@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papm_app.dir/app/client.cpp.o"
+  "CMakeFiles/papm_app.dir/app/client.cpp.o.d"
+  "CMakeFiles/papm_app.dir/app/harness.cpp.o"
+  "CMakeFiles/papm_app.dir/app/harness.cpp.o.d"
+  "CMakeFiles/papm_app.dir/app/server.cpp.o"
+  "CMakeFiles/papm_app.dir/app/server.cpp.o.d"
+  "libpapm_app.a"
+  "libpapm_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papm_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papm_common.dir/common/crc32c.cpp.o"
+  "CMakeFiles/papm_common.dir/common/crc32c.cpp.o.d"
+  "CMakeFiles/papm_common.dir/common/hexdump.cpp.o"
+  "CMakeFiles/papm_common.dir/common/hexdump.cpp.o.d"
+  "CMakeFiles/papm_common.dir/common/inet_csum.cpp.o"
+  "CMakeFiles/papm_common.dir/common/inet_csum.cpp.o.d"
+  "CMakeFiles/papm_common.dir/common/stats.cpp.o"
+  "CMakeFiles/papm_common.dir/common/stats.cpp.o.d"
+  "libpapm_common.a"
+  "libpapm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papm_container.dir/container/pskiplist.cpp.o"
+  "CMakeFiles/papm_container.dir/container/pskiplist.cpp.o.d"
+  "CMakeFiles/papm_container.dir/container/rbtree.cpp.o"
+  "CMakeFiles/papm_container.dir/container/rbtree.cpp.o.d"
+  "libpapm_container.a"
+  "libpapm_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papm_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpapm_container.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papm_core.dir/core/pktstore.cpp.o"
+  "CMakeFiles/papm_core.dir/core/pktstore.cpp.o.d"
+  "CMakeFiles/papm_core.dir/core/pmfs.cpp.o"
+  "CMakeFiles/papm_core.dir/core/pmfs.cpp.o.d"
+  "CMakeFiles/papm_core.dir/core/ppktmeta.cpp.o"
+  "CMakeFiles/papm_core.dir/core/ppktmeta.cpp.o.d"
+  "libpapm_core.a"
+  "libpapm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

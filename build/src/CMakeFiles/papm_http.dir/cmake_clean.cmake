@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papm_http.dir/http/http.cpp.o"
+  "CMakeFiles/papm_http.dir/http/http.cpp.o.d"
+  "libpapm_http.a"
+  "libpapm_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papm_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpapm_http.a"
+)

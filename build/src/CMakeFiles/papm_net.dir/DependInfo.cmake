@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/gso.cpp" "src/CMakeFiles/papm_net.dir/net/gso.cpp.o" "gcc" "src/CMakeFiles/papm_net.dir/net/gso.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/CMakeFiles/papm_net.dir/net/headers.cpp.o" "gcc" "src/CMakeFiles/papm_net.dir/net/headers.cpp.o.d"
+  "/root/repo/src/net/homa.cpp" "src/CMakeFiles/papm_net.dir/net/homa.cpp.o" "gcc" "src/CMakeFiles/papm_net.dir/net/homa.cpp.o.d"
+  "/root/repo/src/net/pktbuf.cpp" "src/CMakeFiles/papm_net.dir/net/pktbuf.cpp.o" "gcc" "src/CMakeFiles/papm_net.dir/net/pktbuf.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/CMakeFiles/papm_net.dir/net/tcp.cpp.o" "gcc" "src/CMakeFiles/papm_net.dir/net/tcp.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/CMakeFiles/papm_net.dir/net/udp.cpp.o" "gcc" "src/CMakeFiles/papm_net.dir/net/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/papm_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

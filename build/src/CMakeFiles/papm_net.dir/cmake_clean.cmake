@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papm_net.dir/net/gso.cpp.o"
+  "CMakeFiles/papm_net.dir/net/gso.cpp.o.d"
+  "CMakeFiles/papm_net.dir/net/headers.cpp.o"
+  "CMakeFiles/papm_net.dir/net/headers.cpp.o.d"
+  "CMakeFiles/papm_net.dir/net/homa.cpp.o"
+  "CMakeFiles/papm_net.dir/net/homa.cpp.o.d"
+  "CMakeFiles/papm_net.dir/net/pktbuf.cpp.o"
+  "CMakeFiles/papm_net.dir/net/pktbuf.cpp.o.d"
+  "CMakeFiles/papm_net.dir/net/tcp.cpp.o"
+  "CMakeFiles/papm_net.dir/net/tcp.cpp.o.d"
+  "CMakeFiles/papm_net.dir/net/udp.cpp.o"
+  "CMakeFiles/papm_net.dir/net/udp.cpp.o.d"
+  "libpapm_net.a"
+  "libpapm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

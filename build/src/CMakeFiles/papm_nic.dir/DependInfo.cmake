@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/fabric.cpp" "src/CMakeFiles/papm_nic.dir/nic/fabric.cpp.o" "gcc" "src/CMakeFiles/papm_nic.dir/nic/fabric.cpp.o.d"
+  "/root/repo/src/nic/nic.cpp" "src/CMakeFiles/papm_nic.dir/nic/nic.cpp.o" "gcc" "src/CMakeFiles/papm_nic.dir/nic/nic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/papm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papm_nic.dir/nic/fabric.cpp.o"
+  "CMakeFiles/papm_nic.dir/nic/fabric.cpp.o.d"
+  "CMakeFiles/papm_nic.dir/nic/nic.cpp.o"
+  "CMakeFiles/papm_nic.dir/nic/nic.cpp.o.d"
+  "libpapm_nic.a"
+  "libpapm_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papm_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papm_pm.dir/pm/pm_device.cpp.o"
+  "CMakeFiles/papm_pm.dir/pm/pm_device.cpp.o.d"
+  "CMakeFiles/papm_pm.dir/pm/pm_pool.cpp.o"
+  "CMakeFiles/papm_pm.dir/pm/pm_pool.cpp.o.d"
+  "libpapm_pm.a"
+  "libpapm_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papm_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

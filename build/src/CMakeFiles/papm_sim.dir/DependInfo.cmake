@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/clock.cpp" "src/CMakeFiles/papm_sim.dir/sim/clock.cpp.o" "gcc" "src/CMakeFiles/papm_sim.dir/sim/clock.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/papm_sim.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/papm_sim.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/papm_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/papm_sim.dir/sim/event_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/papm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papm_sim.dir/sim/clock.cpp.o"
+  "CMakeFiles/papm_sim.dir/sim/clock.cpp.o.d"
+  "CMakeFiles/papm_sim.dir/sim/cost_model.cpp.o"
+  "CMakeFiles/papm_sim.dir/sim/cost_model.cpp.o.d"
+  "CMakeFiles/papm_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/papm_sim.dir/sim/event_queue.cpp.o.d"
+  "libpapm_sim.a"
+  "libpapm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

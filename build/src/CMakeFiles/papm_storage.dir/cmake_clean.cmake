@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papm_storage.dir/storage/lsm_store.cpp.o"
+  "CMakeFiles/papm_storage.dir/storage/lsm_store.cpp.o.d"
+  "CMakeFiles/papm_storage.dir/storage/memtable.cpp.o"
+  "CMakeFiles/papm_storage.dir/storage/memtable.cpp.o.d"
+  "CMakeFiles/papm_storage.dir/storage/wal.cpp.o"
+  "CMakeFiles/papm_storage.dir/storage/wal.cpp.o.d"
+  "libpapm_storage.a"
+  "libpapm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

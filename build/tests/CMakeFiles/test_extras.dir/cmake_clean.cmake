@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extras.dir/test_extras.cpp.o"
+  "CMakeFiles/test_extras.dir/test_extras.cpp.o.d"
+  "test_extras"
+  "test_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pskiplist.dir/test_pskiplist.cpp.o"
+  "CMakeFiles/test_pskiplist.dir/test_pskiplist.cpp.o.d"
+  "test_pskiplist"
+  "test_pskiplist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pskiplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

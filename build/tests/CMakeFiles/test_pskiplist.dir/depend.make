@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pskiplist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_storage.cpp" "tests/CMakeFiles/test_storage.dir/test_storage.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/test_storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/papm_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/papm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udp_homa.dir/test_udp_homa.cpp.o"
+  "CMakeFiles/test_udp_homa.dir/test_udp_homa.cpp.o.d"
+  "test_udp_homa"
+  "test_udp_homa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udp_homa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
