@@ -1,0 +1,101 @@
+// Shared bench plumbing: `--json <path>` output for machine-readable
+// results alongside the human tables.
+//
+// The writer emits fixed-precision numbers (%.6f) so that two runs with
+// the same seed and configuration produce byte-identical files — the
+// determinism contract the scaling experiments assert.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace papm::benchio {
+
+// Returns the value following "--json", or empty if absent.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; i++) {
+    if (std::string_view(argv[i]) == "--json") return argv[i + 1];
+  }
+  return {};
+}
+
+inline bool has_flag(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i < argc; i++) {
+    if (std::string_view(argv[i]) == flag) return true;
+  }
+  return false;
+}
+
+// Minimal append-only JSON builder: enough for flat benchmark records,
+// nothing clever. All floating-point fields go through %.6f.
+class JsonWriter {
+ public:
+  void begin_object() { open("{"); }
+  void end_object() { close("}"); }
+  void begin_array(std::string_view key) {
+    pad();
+    out_ += '"';
+    out_ += key;
+    out_ += "\": [";
+    fresh_ = true;
+  }
+  void end_array() { close("]"); }
+
+  void field(std::string_view key, std::string_view v) {
+    pad();
+    kv(key);
+    out_ += '"';
+    out_ += v;
+    out_ += '"';
+  }
+  void field(std::string_view key, double v) {
+    pad();
+    kv(key);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    out_ += buf;
+  }
+  void field(std::string_view key, long long v) {
+    pad();
+    kv(key);
+    out_ += std::to_string(v);
+  }
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fwrite(out_.data(), 1, out_.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  void kv(std::string_view key) {
+    out_ += '"';
+    out_ += key;
+    out_ += "\": ";
+  }
+  void pad() {
+    if (!fresh_) out_ += ", ";
+    fresh_ = false;
+  }
+  void open(std::string_view tok) {
+    pad();
+    out_ += tok;
+    fresh_ = true;
+  }
+  void close(std::string_view tok) {
+    out_ += tok;
+    fresh_ = false;
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+}  // namespace papm::benchio

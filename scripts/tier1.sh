@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the plain build + test pass from ROADMAP.md,
+# followed by a second ctest pass under ASan+UBSan (-DPAPM_SANITIZE=ON).
+# Run from the repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: default build =="
+cmake --preset default >/dev/null
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+echo "== tier-1: ASan+UBSan build =="
+cmake --preset asan >/dev/null
+cmake --build build-asan -j
+ctest --test-dir build-asan --output-on-failure -j
+
+echo "== tier-1: OK =="

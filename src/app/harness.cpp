@@ -19,6 +19,7 @@ RunResult run_experiment(const RunConfig& cfg) {
   server_cfg.cores = cfg.server_cores;
   server_cfg.busy_poll = true;
   server_cfg.pm_backed = true;
+  server_cfg.pm_size = cfg.pm_size;
   server_cfg.nic = cfg.nic;
   Host server_host(env, fabric, server_cfg);
 

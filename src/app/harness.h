@@ -18,6 +18,7 @@ struct RunConfig {
   bool lsm_wal = false;
   core::PktStoreOptions pkt_opts;
   int server_cores = 1;  // "the server uses only one CPU core"
+  u64 pm_size = 512u << 20;  // server PM device, split across core shards
 
   // Workload.
   int connections = 1;

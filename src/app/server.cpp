@@ -1,7 +1,9 @@
 #include "app/server.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstring>
+#include <map>
 #include <stdexcept>
 
 namespace papm::app {
@@ -64,51 +66,68 @@ std::optional<Head> parse_head_inplace(std::string_view payload) {
   return h;
 }
 
+std::string shard_name(std::string_view base, u32 shard) {
+  return shard == 0 ? std::string(base)
+                    : std::string(base) + ".s" + std::to_string(shard);
+}
+
 }  // namespace
 
 KvServer::KvServer(Host& host, const ServerConfig& cfg)
     : host_(host), cfg_(cfg) {
-  switch (cfg.backend) {
-    case Backend::discard:
-      break;
-    case Backend::raw_persist: {
-      auto r = host_.pm_pool().alloc(kRawRegion);
-      if (!r.ok()) throw std::runtime_error("KvServer: no PM for raw region");
-      raw_region_ = r.value();
-      break;
+  shards_.resize(host_.datapaths());
+  for (u32 i = 0; i < host_.datapaths(); i++) {
+    Shard& sh = shards_[i];
+    switch (cfg.backend) {
+      case Backend::discard:
+        break;
+      case Backend::raw_persist: {
+        auto r = host_.pm_pool(i).alloc(kRawRegion);
+        if (!r.ok()) throw std::runtime_error("KvServer: no PM for raw region");
+        sh.raw_region = r.value();
+        break;
+      }
+      case Backend::lsm: {
+        // Carve a dedicated region for the store's own PM allocator, which
+        // charges general-allocator prices (Table 1 alloc+insert row) —
+        // unlike the packet pool's freelist prices. On a sharded host the
+        // span adapts to the shard's slice of the device (never more than
+        // half, so packet buffers keep room).
+        constexpr u64 kStoreSpan = 192u << 20;
+        const u64 carve =
+            std::min<u64>(kStoreSpan, host_.pm_pool(i).capacity() / 2) /
+            kCacheLine * kCacheLine;
+        auto span = host_.pm_pool(i).alloc(carve);
+        if (!span.ok()) throw std::runtime_error("KvServer: no PM for store");
+        sh.store_pool = pm::PmPool::create(
+            host_.pm_device(), shard_name("storepool", i),
+            align_up(span.value(), kCacheLine), carve - kCacheLine);
+        storage::LsmOptions o;
+        o.knobs = cfg.knobs;
+        o.use_wal = cfg.lsm_wal;
+        sh.lsm = storage::LsmStore::create(host_.pm_device(), *sh.store_pool,
+                                           shard_name("db", i), o);
+        break;
+      }
+      case Backend::pktstore:
+        sh.pktstore = core::PktStore::create(host_.pool(i),
+                                             shard_name("store", i),
+                                             cfg.pkt_opts);
+        break;
     }
-    case Backend::lsm: {
-      // Carve a dedicated region for the store's own PM allocator, which
-      // charges general-allocator prices (Table 1 alloc+insert row) —
-      // unlike the packet pool's freelist prices.
-      constexpr u64 kStoreSpan = 192u << 20;
-      auto span = host_.pm_pool().alloc(kStoreSpan);
-      if (!span.ok()) throw std::runtime_error("KvServer: no PM for store");
-      store_pool_ = pm::PmPool::create(host_.pm_device(), "storepool",
-                                       align_up(span.value(), kCacheLine),
-                                       kStoreSpan - kCacheLine);
-      storage::LsmOptions o;
-      o.knobs = cfg.knobs;
-      o.use_wal = cfg.lsm_wal;
-      lsm_ = storage::LsmStore::create(host_.pm_device(), *store_pool_, "db", o);
-      break;
-    }
-    case Backend::pktstore:
-      pktstore_ = core::PktStore::create(host_.pool(), "store", cfg.pkt_opts);
-      break;
+    const Status st = host_.stack(i).listen(
+        cfg.port, [this, i](net::TcpConn& c) { on_accept(c, i); });
+    if (!st.ok()) throw std::runtime_error("KvServer: listen failed");
   }
-  const Status st = host_.stack().listen(
-      cfg.port, [this](net::TcpConn& c) { on_accept(c); });
-  if (!st.ok()) throw std::runtime_error("KvServer: listen failed");
 }
 
-void KvServer::on_accept(net::TcpConn& conn) {
-  conns_[&conn] = ConnState{};
+void KvServer::on_accept(net::TcpConn& conn, u32 shard) {
+  conns_[&conn].shard = shard;
   conn.on_readable = [this](net::TcpConn& c) { on_readable(c); };
   conn.on_closed = [this](net::TcpConn& c) {
     auto it = conns_.find(&c);
     if (it != conns_.end()) {
-      for (auto* pb : it->second.pkts) host_.pool().free(pb);
+      for (auto* pb : it->second.pkts) net::PktBufPool::release(pb);
       conns_.erase(it);
     }
   };
@@ -118,7 +137,8 @@ bool KvServer::try_parse_head(ConnState& st) {
   if (st.pkts.empty()) return false;
   // Fast path: head within the first segment (always true for the
   // paper's request sizes; requests are not pipelined).
-  const auto payload = host_.pool().payload(*st.pkts[0]);
+  net::PktBuf* first = st.pkts[0];
+  const auto payload = first->owner->payload(*first);
   const std::string_view view(reinterpret_cast<const char*>(payload.data()),
                               payload.size());
   auto& env = host_.env();
@@ -147,17 +167,29 @@ void KvServer::on_readable(net::TcpConn& conn) {
   dispatch(conn, st);
 }
 
+KvServer::Shard* KvServer::find_pkt_shard(std::string_view key, u32 home) {
+  // RSS flow affinity puts a key's writes in its writer's ingress shard,
+  // so the home shard hits in the common case; the fallback sweep keeps
+  // reads correct when another connection wrote the key.
+  if (shards_[home].pktstore->stat(key).ok()) return &shards_[home];
+  for (u32 i = 0; i < shards_.size(); i++) {
+    if (i != home && shards_[i].pktstore->stat(key).ok()) return &shards_[i];
+  }
+  return nullptr;
+}
+
 void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
   auto& env = host_.env();
+  Shard& sh = shards_[st.shard];
   // Group-commit / cache-warmth regime: requests queued behind the core.
   const bool batched = host_.cpu().backlogged();
-  if (lsm_.has_value()) lsm_->set_batched(batched);
-  if (pktstore_.has_value()) pktstore_->set_batched(batched);
+  if (sh.lsm.has_value()) sh.lsm->set_batched(batched);
+  if (sh.pktstore.has_value()) sh.pktstore->set_batched(batched);
   storage::OpBreakdown bd;
   storage::OpBreakdown* bdp = cfg_.collect_breakdown ? &bd : nullptr;
   int status = 200;
   std::vector<u8> resp_body;
-  bool zero_copy_response = false;
+  Shard* zero_copy_shard = nullptr;
 
   switch (cfg_.backend) {
     case Backend::discard:
@@ -167,13 +199,13 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
       // The Fig. 2 "simple application that copies and persists data in
       // the PM region": one copy + one flush, no structure.
       if (st.method == http::Method::put) {
-        if (raw_off_ + st.body_len > kRawRegion) raw_off_ = 0;
+        if (sh.raw_off + st.body_len > kRawRegion) sh.raw_off = 0;
         auto& dev = host_.pm_device();
         std::size_t skip = st.head_len;
-        u64 at = raw_region_ + raw_off_;
+        u64 at = sh.raw_region + sh.raw_off;
         const SimTime t0 = env.now();
         for (net::PktBuf* pb : st.pkts) {
-          const auto p = host_.pool().payload(*pb);
+          const auto p = pb->owner->payload(*pb);
           if (skip >= p.size()) {
             skip -= p.size();
             continue;
@@ -186,27 +218,29 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
         }
         if (bdp != nullptr) bdp->copy_ns += env.now() - t0;
         const SimTime t1 = env.now();
-        dev.persist(raw_region_ + raw_off_, st.body_len);
+        dev.persist(sh.raw_region + sh.raw_off, st.body_len);
         if (bdp != nullptr) bdp->persist_ns += env.now() - t1;
-        raw_off_ += align_up(st.body_len, kCacheLine);
+        sh.raw_off += align_up(st.body_len, kCacheLine);
       }
       break;
     }
 
     case Backend::lsm: {
       if (st.method == http::Method::put) {
+        // Write-local: the PUT lands in the ingress core's shard.
         Status s = Errc::ok;
         if (st.pkts.size() == 1) {
           // Body contiguous inside the packet: hand the view straight to
           // the store (its internal copy is the Table 1 copy row).
-          const auto p = host_.pool().payload(*st.pkts[0]);
-          s = lsm_->put(st.key, p.subspan(st.head_len, st.body_len), bdp);
+          net::PktBuf* pb = st.pkts[0];
+          const auto p = pb->owner->payload(*pb);
+          s = sh.lsm->put(st.key, p.subspan(st.head_len, st.body_len), bdp);
         } else {
           std::vector<u8> body;
           body.reserve(st.body_len);
           std::size_t skip = st.head_len;
           for (net::PktBuf* pb : st.pkts) {
-            const auto p = host_.pool().payload(*pb);
+            const auto p = pb->owner->payload(*pb);
             if (skip >= p.size()) {
               skip -= p.size();
               continue;
@@ -215,7 +249,7 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
             skip = 0;
           }
           body.resize(st.body_len);
-          s = lsm_->put(st.key, body, bdp);
+          s = sh.lsm->put(st.key, body, bdp);
         }
         if (!s.ok()) {
           status = 507;
@@ -227,7 +261,21 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
         if (st.key.starts_with("/scan/")) {
           resp_body = scan_response(st.key);
         } else {
-          auto v = lsm_->get(st.key);
+          // Read-merge: the ingress shard first (RSS flow affinity makes
+          // it the writer's shard), then the others for keys another
+          // connection wrote.
+          auto v = sh.lsm->get(st.key);
+          if (!v.ok() && v.errc() == Errc::not_found) {
+            for (u32 i = 0; i < shards_.size(); i++) {
+              if (i == st.shard) continue;
+              shards_[i].lsm->set_batched(batched);
+              auto w = shards_[i].lsm->get(st.key);
+              if (w.ok() || w.errc() != Errc::not_found) {
+                v = std::move(w);
+                break;
+              }
+            }
+          }
           if (v.ok()) {
             resp_body = std::move(v.value());
           } else {
@@ -235,7 +283,9 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
           }
         }
       } else if (st.method == http::Method::del) {
-        status = lsm_->erase(st.key).ok() ? 204 : 500;
+        bool any = false;
+        for (auto& s : shards_) any |= s.lsm->erase(st.key).ok();
+        status = any ? 204 : 500;
       }
       break;
     }
@@ -263,7 +313,7 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
           remaining -= len;
           if (remaining == 0) break;
         }
-        const Status s = pktstore_->put_pkts(st.key, pkts, offs, lens, bdp);
+        const Status s = sh.pktstore->put_pkts(st.key, pkts, offs, lens, bdp);
         if (!s.ok()) {
           status = 507;
           errors_++;
@@ -273,20 +323,23 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
       } else if (st.method == http::Method::get) {
         if (st.key.starts_with("/scan/")) {
           resp_body = scan_response(st.key);
-        } else if (pktstore_->stat(st.key).ok()) {
-          zero_copy_response = true;
+        } else if (Shard* owner = find_pkt_shard(st.key, st.shard)) {
+          owner->pktstore->set_batched(batched);
+          zero_copy_shard = owner;
         } else {
           status = 404;
         }
       } else if (st.method == http::Method::del) {
-        status = pktstore_->erase(st.key) ? 204 : 404;
+        bool any = false;
+        for (auto& s : shards_) any |= s.pktstore->erase(st.key);
+        status = any ? 204 : 404;
       }
       break;
     }
   }
 
-  if (zero_copy_response) {
-    respond_value_zero_copy(conn, st.key);
+  if (zero_copy_shard != nullptr) {
+    respond_value_zero_copy(conn, *zero_copy_shard, st.key);
   } else {
     respond(conn, status, resp_body);
   }
@@ -296,15 +349,19 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
     breakdown_ops_++;
   }
 
-  for (net::PktBuf* pb : st.pkts) host_.pool().free(pb);
+  for (net::PktBuf* pb : st.pkts) net::PktBufPool::release(pb);
   ConnState fresh;
+  fresh.shard = st.shard;
   std::swap(conns_[&conn], fresh);
 }
 
 std::vector<u8> KvServer::scan_response(std::string_view target) {
   // Range query (the §3 "efficient range query support" property):
   // target is "/scan/<from>/<to>"; the response lists "key<TAB>len" lines
-  // for up to kMaxScan keys in [from, to).
+  // for up to kMaxScan keys in [from, to). On a sharded store the
+  // per-shard iterators are merged in key order with duplicates (the same
+  // key written via two ingress cores) collapsed — each shard contributes
+  // at most kMaxScan candidates, so the global cut is exact.
   constexpr std::size_t kMaxScan = 100;
   target.remove_prefix(6);  // "/scan/"
   const std::size_t slash = target.find('/');
@@ -312,24 +369,32 @@ std::vector<u8> KvServer::scan_response(std::string_view target) {
   const std::string_view to =
       slash == std::string_view::npos ? std::string_view{}
                                       : target.substr(slash + 1);
+  std::map<std::string, u64> merged;
+  for (auto& sh : shards_) {
+    std::size_t n = 0;
+    auto collect = [&](std::string_view key, u64 len) {
+      merged.emplace(std::string(key), len);
+      return ++n < kMaxScan;
+    };
+    if (sh.lsm.has_value()) {
+      sh.lsm->scan(from, to, [&](std::string_view k, std::span<const u8> v) {
+        return collect(k, v.size());
+      });
+    } else if (sh.pktstore.has_value()) {
+      sh.pktstore->scan(
+          from, to, [&](std::string_view k, const core::PktStore::ValueMeta& m) {
+            return collect(k, m.len);
+          });
+    }
+  }
   std::string out;
   std::size_t n = 0;
-  auto emit = [&](std::string_view key, u64 len) {
+  for (const auto& [key, len] : merged) {
     out += key;
     out += '\t';
     out += std::to_string(len);
     out += '\n';
-    return ++n < kMaxScan;
-  };
-  if (lsm_.has_value()) {
-    lsm_->scan(from, to, [&](std::string_view k, std::span<const u8> v) {
-      return emit(k, v.size());
-    });
-  } else if (pktstore_.has_value()) {
-    pktstore_->scan(from, to,
-                    [&](std::string_view k, const core::PktStore::ValueMeta& m) {
-                      return emit(k, m.len);
-                    });
+    if (++n >= kMaxScan) break;
   }
   return {out.begin(), out.end()};
 }
@@ -344,18 +409,18 @@ void KvServer::respond(net::TcpConn& conn, int status,
   (void)conn.send(http::serialize(resp));
 }
 
-void KvServer::respond_value_zero_copy(net::TcpConn& conn,
+void KvServer::respond_value_zero_copy(net::TcpConn& conn, Shard& sh,
                                        std::string_view key) {
   auto& env = host_.env();
   env.clock().advance(env.cost.scaled(env.cost.server_http_build_ns));
-  const auto st = pktstore_->stat(key);
+  const auto st = sh.pktstore->stat(key);
   // Headers go through the copying send (they are tiny)...
   const std::string head = "HTTP/1.1 200 OK\r\nContent-Length: " +
                            std::to_string(st->len) + "\r\n\r\n";
   (void)conn.send(std::span<const u8>(
       reinterpret_cast<const u8*>(head.data()), head.size()));
   // ...the value leaves as frag-backed packets, zero copy (§4.2).
-  auto pkts = pktstore_->get_as_pkts(key);
+  auto pkts = sh.pktstore->get_as_pkts(key);
   if (!pkts.ok()) return;
   for (net::PktBuf* pb : pkts.value()) {
     if (!conn.send_pkt(pb).ok()) {

@@ -14,6 +14,18 @@
 // All backends use the zero-copy receive path (read_pkts) — PASTE served
 // the baseline in the paper too — so backend differences are pure
 // data-management differences.
+//
+// Scale-out (S1): on a multi-queue host the server runs one complete
+// pipeline per datapath shard — its own listener on that shard's pinned
+// TCP stack, its own connection states, and its own backend instance
+// over the shard's private PM pool. RSS flow affinity makes every PUT
+// land in the ingress core's shard (write-local); GETs consult the local
+// shard first and fall back to the others (read-merge) — the client's
+// deterministic per-key values make cross-shard duplicates byte-
+// identical, so reads stay correct without hot-path sharing. DELETE
+// erases everywhere; scans merge per-shard iterators with dedup. With
+// one shard all of this degenerates to the classic single-pipeline
+// server.
 #pragma once
 
 #include <deque>
@@ -66,10 +78,26 @@ class KvServer {
   }
 
  private:
+  // One backend pipeline per datapath shard (always exactly one per
+  // shard; a single-queue host has one of these).
+  struct Shard {
+    // The LSM baseline allocates from its own general-purpose PM pool
+    // (the user-space PM allocator of Table 1); the packet pool stays a
+    // cheap freelist for NIC RX buffers either way.
+    std::optional<pm::PmPool> store_pool;
+    std::optional<storage::LsmStore> lsm;
+    std::optional<core::PktStore> pktstore;
+    // raw_persist bump region (recycled; models the Fig.2 simple app).
+    u64 raw_region = 0;
+    u64 raw_off = 0;
+  };
+  static constexpr u64 kRawRegion = 4u << 20;
+
   // Per-connection request assembly over zero-copy packets. The request
   // head (start line + headers) must fit in the first segment — true for
   // the paper's workloads; a slow path re-assembles otherwise.
   struct ConnState {
+    u32 shard = 0;                   // ingress datapath (RSS decided)
     std::vector<net::PktBuf*> pkts;  // segments of the in-flight request
     std::size_t have_bytes = 0;
     // Parsed from the head (valid once head_parsed):
@@ -80,26 +108,21 @@ class KvServer {
     std::size_t body_len = 0;   // Content-Length
   };
 
-  void on_accept(net::TcpConn& conn);
+  void on_accept(net::TcpConn& conn, u32 shard);
   void on_readable(net::TcpConn& conn);
   bool try_parse_head(ConnState& st);
   void dispatch(net::TcpConn& conn, ConnState& st);
+  // GET routing: the shard holding `key`, preferring `home` (the ingress
+  // shard, where RSS puts all of the key's PUTs from this client).
+  [[nodiscard]] Shard* find_pkt_shard(std::string_view key, u32 home);
   [[nodiscard]] std::vector<u8> scan_response(std::string_view target);
   void respond(net::TcpConn& conn, int status, std::span<const u8> body = {});
-  void respond_value_zero_copy(net::TcpConn& conn, std::string_view key);
+  void respond_value_zero_copy(net::TcpConn& conn, Shard& sh,
+                               std::string_view key);
 
   Host& host_;
   ServerConfig cfg_;
-  // The LSM baseline allocates from its own general-purpose PM pool (the
-  // user-space PM allocator of Table 1); the packet pool stays a cheap
-  // freelist for NIC RX buffers either way.
-  std::optional<pm::PmPool> store_pool_;
-  std::optional<storage::LsmStore> lsm_;
-  std::optional<core::PktStore> pktstore_;
-  // raw_persist bump region (recycled; models the Fig.2 simple app).
-  u64 raw_region_ = 0;
-  u64 raw_off_ = 0;
-  static constexpr u64 kRawRegion = 4u << 20;
+  std::vector<Shard> shards_;
 
   std::unordered_map<net::TcpConn*, ConnState> conns_;
   u64 ops_ = 0;

@@ -1,6 +1,12 @@
 #include "common/crc32c.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define PAPM_CRC32C_X86 1
+#include <nmmintrin.h>
+#endif
 
 namespace papm {
 namespace {
@@ -32,7 +38,7 @@ constexpr Tables kTables{};
 
 }  // namespace
 
-u32 crc32c_extend(u32 crc, std::span<const u8> data) noexcept {
+u32 crc32c_sw_extend(u32 crc, std::span<const u8> data) noexcept {
   const auto& t = kTables.t;
   crc = ~crc;
   const u8* p = data.data();
@@ -54,6 +60,59 @@ u32 crc32c_extend(u32 crc, std::span<const u8> data) noexcept {
     crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
   }
   return ~crc;
+}
+
+#ifdef PAPM_CRC32C_X86
+
+__attribute__((target("sse4.2"))) u32 crc32c_hw_extend(
+    u32 crc, std::span<const u8> data) noexcept {
+  crc = ~crc;
+  const u8* p = data.data();
+  std::size_t n = data.size();
+  u64 c = crc;
+  // Unaligned heads are rare (packet payloads are cache-line based);
+  // _mm_crc32_u64 tolerates unaligned loads, so just go 8 bytes a step.
+  while (n >= 8) {
+    u64 word;
+    std::memcpy(&word, p, 8);
+    c = _mm_crc32_u64(c, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<u32>(c);
+  while (n-- > 0) crc = _mm_crc32_u8(crc, *p++);
+  return ~crc;
+}
+
+bool crc32c_hw_available() noexcept {
+  return __builtin_cpu_supports("sse4.2") != 0;
+}
+
+#else  // portable build: the hw entry points fall back to software
+
+u32 crc32c_hw_extend(u32 crc, std::span<const u8> data) noexcept {
+  return crc32c_sw_extend(crc, data);
+}
+
+bool crc32c_hw_available() noexcept { return false; }
+
+#endif
+
+namespace {
+
+using ExtendFn = u32 (*)(u32, std::span<const u8>) noexcept;
+
+// One cpuid at first use, then direct calls through the pointer.
+ExtendFn resolve_extend() noexcept {
+  return crc32c_hw_available() ? &crc32c_hw_extend : &crc32c_sw_extend;
+}
+
+const ExtendFn kExtend = resolve_extend();
+
+}  // namespace
+
+u32 crc32c_extend(u32 crc, std::span<const u8> data) noexcept {
+  return kExtend(crc, data);
 }
 
 u32 crc32c(std::span<const u8> data) noexcept { return crc32c_extend(0, data); }

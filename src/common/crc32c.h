@@ -2,9 +2,17 @@
 //
 // This is the integrity checksum used by LevelDB/NoveLSM-class storage
 // stacks; the paper's Table 1 "checksum calculation" row (1.77 us for a
-// 1 KB value) is exactly this computation. Implemented with slicing-by-8
-// so the software cost is realistic, plus the LevelDB-style mask for
-// checksums stored alongside the data they cover.
+// 1 KB value) is exactly this computation. Two implementations:
+//
+//   * slicing-by-8 software tables — the portable fallback, and the cost
+//     the simulation's software-checksum price models;
+//   * the SSE4.2 CRC32 instruction (_mm_crc32_u64, 3-cycle latency,
+//     1/cycle throughput) — what a production store would use on x86,
+//     and the middle point between software tables and full NIC offload
+//     that bench_checksum (A2) reports.
+//
+// crc32c()/crc32c_extend() dispatch once (cpuid) to the fastest variant;
+// the _sw/_hw entry points pin an implementation for benchmarking.
 #pragma once
 
 #include <cstddef>
@@ -14,11 +22,18 @@
 
 namespace papm {
 
-// One-shot CRC32C over a buffer.
+// One-shot CRC32C over a buffer (best available implementation).
 [[nodiscard]] u32 crc32c(std::span<const u8> data) noexcept;
 
 // Streaming form: extend a running CRC (pass 0 to start).
 [[nodiscard]] u32 crc32c_extend(u32 crc, std::span<const u8> data) noexcept;
+
+// Implementation-pinned variants (benchmarks; results are identical).
+[[nodiscard]] u32 crc32c_sw_extend(u32 crc, std::span<const u8> data) noexcept;
+[[nodiscard]] u32 crc32c_hw_extend(u32 crc, std::span<const u8> data) noexcept;
+
+// True when the SSE4.2 hardware path is compiled in and the CPU has it.
+[[nodiscard]] bool crc32c_hw_available() noexcept;
 
 // LevelDB-style masking: storing a CRC of data that itself contains CRCs
 // can produce degenerate values; the mask makes stored checksums distinct

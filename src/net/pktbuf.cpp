@@ -41,6 +41,7 @@ PktBuf* PktBufPool::alloc(u32 data_cap) {
     pb = &slab_.back();
   }
   *pb = PktBuf{};
+  pb->owner = this;
   pb->data_h = dh.value();
   pb->cap = data_cap;
   pb->in_use = true;
@@ -62,6 +63,7 @@ PktBuf* PktBufPool::clone(const PktBuf& pb) {
     c = &slab_.back();
   }
   *c = pb;  // copy all metadata fields
+  c->owner = this;
   c->next = c->prev = nullptr;
   c->rb = container::RbHook{};
   c->in_use = true;
@@ -74,6 +76,7 @@ PktBuf* PktBufPool::clone(const PktBuf& pb) {
 void PktBufPool::free(PktBuf* pb) {
   if (pb == nullptr) return;
   assert(pb->in_use);
+  assert(pb->owner == this && "packet freed into a foreign pool shard");
   if (unref(pb->data_h)) arena_->free(pb->data_h, pb->cap);
   for (int i = 0; i < pb->nr_frags; i++) {
     if (unref(pb->frags[i].data_h)) {

@@ -123,6 +123,12 @@ struct PktBuf {
   u16 payload_csum = 0;    // payload-only Internet checksum (derived)
   bool csum_verified = false;
 
+  // RSS (multi-queue NICs): Toeplitz hash of the 4-tuple and the RX/TX
+  // descriptor queue this packet travelled through. On RX the NIC fills
+  // both; on TX the stack marks its queue for per-queue accounting.
+  u32 rss_hash = 0;
+  u16 rss_queue = 0;
+
   // Parsed header views: offsets into the linear buffer, plus decoded
   // copies for cheap access. For UDP datagrams `tcp` carries only the
   // port and checksum fields (the L4 view); l4_proto disambiguates.
@@ -154,7 +160,12 @@ struct PktBuf {
     return t;
   }
 
-  // Pool bookkeeping (private to PktBufPool).
+  // Pool bookkeeping (private to PktBufPool). `owner` is the pool that
+  // allocated this metadata: with per-core pool shards (multi-queue RSS
+  // datapath) a packet can cross shards — e.g. a zero-copy GET response
+  // built by the key's home shard and transmitted by the connection's
+  // core — and every ref/unref/free must route to the owning pool.
+  class PktBufPool* owner = nullptr;
   bool in_use = false;
 };
 
@@ -177,8 +188,15 @@ class PktBufPool {
   [[nodiscard]] PktBuf* clone(const PktBuf& pb);
 
   // Releases metadata; the linear buffer and frags are freed when their
-  // last reference (clone or adopted handle) drops.
+  // last reference (clone or adopted handle) drops. Must be called on the
+  // pool that allocated `pb` — call release() when that is not certain.
   void free(PktBuf* pb);
+
+  // Owner-routed free: releases `pb` into whichever pool allocated it.
+  // The safe default wherever a packet may have crossed pool shards.
+  static void release(PktBuf* pb) {
+    if (pb != nullptr) pb->owner->free(pb);
+  }
 
   // Adopt the packet's linear data: takes an extra reference on the data
   // so it outlives all metadata. Used by pktstore to keep payload bytes

@@ -73,7 +73,7 @@ TcpConn* TcpStack::connect(u32 dst_ip, u16 dst_port) {
   c->cwnd_ = kInitCwnd;
   c->ssthresh_ = kInitSsthresh;
   c->state_ = TcpState::syn_sent;
-  cpu_->run([&] {
+  run_cpu([&] {
     charge_tx();
     c->send_segment(kTcpSyn, c->iss_, {}, /*queue_rtx=*/true);
   });
@@ -87,7 +87,7 @@ Status TcpStack::listen(u16 port, std::function<void(TcpConn&)> on_accept) {
 }
 
 void TcpStack::rx(PktBuf* pb) {
-  cpu_->run([&] { rx_locked(pb); });
+  run_cpu([&] { rx_locked(pb); });
 }
 
 void TcpStack::rx_locked(PktBuf* pb) {
@@ -156,7 +156,10 @@ void TcpStack::output_pkt(TcpConn& c, PktBuf* pb, u8 flags, u32 seq, u32 ack,
   pb->l2_off = 0;
   pb->l3_off = kEthHdrLen;
   pb->l4_off = kEthHdrLen + kIpHdrLen;
-  u8* base = pool_.writable(*pb, pb->len).data();
+  // Mark the TX queue (per-core doorbell) and resolve data through the
+  // owning pool: zero-copy responses may carry another shard's buffers.
+  pb->rss_queue = static_cast<u16>(opts_.core >= 0 ? opts_.core : 0);
+  u8* base = pb->owner->writable(*pb, pb->len).data();
   const std::size_t payload_len = pb->total_len() - kAllHdrLen;
 
   EthHeader eth;
@@ -192,7 +195,8 @@ void TcpStack::output_pkt(TcpConn& c, PktBuf* pb, u8 flags, u32 seq, u32 ack,
       const auto& fr = pb->frags[i];
       // Linear part and every frag here have even lengths in practice;
       // odd-length middle chunks would need RFC 1071 swap handling.
-      sum += inet_sum({pool_.arena().data(fr.data_h, fr.off + fr.len) + fr.off,
+      sum += inet_sum({pb->owner->arena().data(fr.data_h, fr.off + fr.len) +
+                           fr.off,
                        fr.len});
     }
     const u16 csum = static_cast<u16>(~inet_fold(sum));
@@ -200,13 +204,13 @@ void TcpStack::output_pkt(TcpConn& c, PktBuf* pb, u8 flags, u32 seq, u32 ack,
     base[pb->l4_off + 17] = static_cast<u8>(csum & 0xff);
     tcp.checksum = csum;
   }
-  pool_.arena().mark_dirty(pb->data_h, kAllHdrLen);
+  pb->owner->arena().mark_dirty(pb->data_h, kAllHdrLen);
 
   pb->ip = ip;
   pb->tcp = tcp;
   pb->tstamp = env_.now();
 
-  if (rtx_clone != nullptr) *rtx_clone = pool_.clone(*pb);
+  if (rtx_clone != nullptr) *rtx_clone = pb->owner->clone(*pb);
 
   c.ack_pending_ = false;  // every segment carries the current ack
   segments_tx_++;
@@ -334,7 +338,7 @@ void TcpConn::process_ack(const TcpHeader& h) {
       if (!e.retransmitted) {
         update_rtt(stack_.env().now() - e.sent_at);
       }
-      stack_.pool().free(e.clone);
+      PktBufPool::release(e.clone);
       rtx_q_.pop_front();
     }
     // Congestion window growth.
@@ -370,7 +374,7 @@ void TcpConn::process_ack(const TcpHeader& h) {
       retransmits_++;
       e.retransmitted = true;
       e.sent_at = stack_.env().now();
-      PktBuf* copy = stack_.pool().clone(*e.clone);
+      PktBuf* copy = e.clone->owner->clone(*e.clone);
       stack_.charge_tx();
       stack_.output_pkt(*this, copy, e.flags, e.seq, rcv_nxt_, nullptr);
       arm_rto();
@@ -448,21 +452,21 @@ Status TcpConn::send(std::span<const u8> data) {
 
 Status TcpConn::send_pkt(PktBuf* pb) {
   if (state_ != TcpState::established && state_ != TcpState::close_wait) {
-    stack_.pool().free(pb);
+    PktBufPool::release(pb);
     return Errc::not_connected;
   }
   if (!snd_buf_.empty() || fin_queued_) {
-    stack_.pool().free(pb);
+    PktBufPool::release(pb);
     return Errc::would_block;  // cannot interleave with buffered bytes
   }
   const u32 len = static_cast<u32>(pb->payload_total());
   if (len > kMss) {
-    stack_.pool().free(pb);
+    PktBufPool::release(pb);
     return Errc::too_large;  // caller segments via gso first
   }
   const u32 inflight = snd_nxt_ - snd_una_;
   if (inflight + len > std::min(cwnd_, snd_wnd_)) {
-    stack_.pool().free(pb);
+    PktBufPool::release(pb);
     return Errc::would_block;  // zero-copy path does not buffer
   }
   const u32 seq = snd_nxt_;
@@ -518,7 +522,7 @@ void TcpConn::try_send() {
     rto_armed_ = true;
     stack_.env().engine.schedule_in(rto_, [this, gen] {
       if (gen != rto_generation_) return;
-      stack_.cpu().run([this] {
+      stack_.run_cpu([this] {
         rto_armed_ = false;
         if (snd_wnd_ != 0 || snd_buf_.empty() || !rtx_q_.empty() ||
             state_ == TcpState::closed) {
@@ -617,7 +621,7 @@ void TcpConn::become_closed() {
   if (state_ == TcpState::closed) return;
   state_ = TcpState::closed;
   rto_generation_++;  // cancel timers
-  for (auto& e : rtx_q_) stack_.pool().free(e.clone);
+  for (auto& e : rtx_q_) PktBufPool::release(e.clone);
   rtx_q_.clear();
   while (PktBuf* p = ooo_tree_.first()) {
     ooo_tree_.erase(*p);
@@ -631,7 +635,7 @@ void TcpConn::arm_rto() {
   rto_armed_ = true;
   stack_.env().engine.schedule_in(rto_, [this, gen] {
     if (gen != rto_generation_ || !rto_armed_) return;
-    stack_.cpu().run([this] { on_rto(); });
+    stack_.run_cpu([this] { on_rto(); });
   });
 }
 
@@ -648,7 +652,7 @@ void TcpConn::on_rto() {
   cwnd_ = static_cast<u32>(kMss);
   dup_acks_ = 0;
   rto_ = std::min(rto_ * 2, kMaxRto);
-  PktBuf* copy = stack_.pool().clone(*e.clone);
+  PktBuf* copy = e.clone->owner->clone(*e.clone);
   stack_.charge_tx();
   stack_.output_pkt(*this, copy, e.flags, e.seq, rcv_nxt_, nullptr);
   arm_rto();

@@ -210,6 +210,10 @@ class TcpStack {
     bool csum_offload_rx = true;  // NIC verifies + provides csum-complete
     u32 rcv_buf = 1 << 20;        // receive buffer bytes (window basis)
     u16 ephemeral_base = 33000;
+    // Multi-queue datapath: pin all of this stack's work (RX processing,
+    // timers, TX) to one HostCpu core — the core busy-polling the NIC
+    // queue this stack serves. -1 = classic earliest-free scheduling.
+    int core = -1;
   };
 
   TcpStack(sim::Env& env, NetIf& netif, PktBufPool& pool, Options opts);
@@ -228,6 +232,17 @@ class TcpStack {
   // unlimited-cores CPU owned by the stack.
   void attach_cpu(sim::HostCpu& cpu) noexcept { cpu_ = &cpu; }
   [[nodiscard]] sim::HostCpu& cpu() noexcept { return *cpu_; }
+
+  // Charges `fn` to this stack's core: pinned when Options::core is set
+  // (one stack per NIC queue per core), earliest-free otherwise.
+  template <typename F>
+  SimTime run_cpu(F&& fn) {
+    if (opts_.core >= 0) {
+      return cpu_->run_on(static_cast<std::size_t>(opts_.core),
+                          std::forward<F>(fn));
+    }
+    return cpu_->run(std::forward<F>(fn));
+  }
 
   [[nodiscard]] PktBufPool& pool() noexcept { return pool_; }
   [[nodiscard]] sim::Env& env() noexcept { return env_; }

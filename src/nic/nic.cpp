@@ -12,28 +12,76 @@ using net::kEthHdrLen;
 using net::kIpHdrLen;
 using net::kTcpHdrLen;
 
+u32 rss_toeplitz(u32 src_ip, u32 dst_ip, u16 src_port,
+                 u16 dst_port) noexcept {
+  // The Microsoft RSS verification-suite key (the default programmed by
+  // most drivers, e.g. ixgbe/i40e).
+  static constexpr u8 kKey[40] = {
+      0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+      0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+      0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+      0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa};
+  const u8 in[12] = {
+      static_cast<u8>(src_ip >> 24),   static_cast<u8>(src_ip >> 16),
+      static_cast<u8>(src_ip >> 8),    static_cast<u8>(src_ip),
+      static_cast<u8>(dst_ip >> 24),   static_cast<u8>(dst_ip >> 16),
+      static_cast<u8>(dst_ip >> 8),    static_cast<u8>(dst_ip),
+      static_cast<u8>(src_port >> 8),  static_cast<u8>(src_port),
+      static_cast<u8>(dst_port >> 8),  static_cast<u8>(dst_port)};
+  // 64-bit sliding window: the high 32 bits are the current key window,
+  // the low bits are lookahead replenished a byte at a time.
+  u64 win = 0;
+  for (int i = 0; i < 8; i++) win = (win << 8) | kKey[i];
+  u32 hash = 0;
+  std::size_t next_key = 8;
+  for (int i = 0; i < 12; i++) {
+    for (int bit = 7; bit >= 0; bit--) {
+      if (((in[i] >> bit) & 1) != 0) hash ^= static_cast<u32>(win >> 32);
+      win <<= 1;
+    }
+    win |= kKey[next_key++];
+  }
+  return hash;
+}
+
 Nic::Nic(sim::Env& env, Fabric& fabric, u32 ip, net::PktBufPool& pool,
          Options opts)
-    : env_(env), fabric_(fabric), ip_(ip), pool_(pool), opts_(opts) {
+    : env_(env), fabric_(fabric), ip_(ip), opts_(opts) {
   mac_.b[0] = 0x02;
   mac_.b[2] = static_cast<u8>(ip >> 24);
   mac_.b[3] = static_cast<u8>(ip >> 16);
   mac_.b[4] = static_cast<u8>(ip >> 8);
   mac_.b[5] = static_cast<u8>(ip);
+  queues_.push_back(Queue{&pool, nullptr});
   fabric_.attach(ip, [this](WireFrame f) { on_frame(std::move(f)); });
 }
 
-void Nic::transmit(net::PktBuf* pb) {
-  // Driver work: descriptor + doorbell (CPU).
-  env_.clock().advance(env_.cost.scaled(env_.cost.nic_tx_ns));
+u32 Nic::add_queue(net::PktBufPool& pool) {
+  queues_.push_back(Queue{&pool, nullptr});
+  return static_cast<u32>(queues_.size() - 1);
+}
 
+void Nic::set_queue_sink(u32 queue, std::function<void(net::PktBuf*)> sink) {
+  queues_.at(queue).sink = std::move(sink);
+}
+
+void Nic::transmit(net::PktBuf* pb) {
+  // Driver work: descriptor + doorbell (CPU, charged to the caller's
+  // core — each core rings its own TX queue's doorbell).
+  env_.clock().advance(env_.cost.scaled(env_.cost.nic_tx_ns));
+  const u32 txq = std::min<u32>(pb->rss_queue, num_queues() - 1);
+  queues_[txq].tx_frames++;
+
+  // Resolve data through the packet's owning pool: a cross-shard
+  // zero-copy response carries buffers of another core's arena.
+  net::PktBufPool& pool = *pb->owner;
   WireFrame frame;
-  const u8* base = pool_.data(*pb);
+  const u8* base = pool.data(*pb);
   frame.bytes.assign(base, base + pb->len);  // DMA read; not CPU time
   for (int i = 0; i < pb->nr_frags; i++) {
     // Scatter-gather DMA: frag bytes join the frame without CPU copies.
     const auto& fr = pb->frags[i];
-    const u8* f = pool_.arena().data(fr.data_h, fr.off + fr.len) + fr.off;
+    const u8* f = pool.arena().data(fr.data_h, fr.off + fr.len) + fr.off;
     frame.bytes.insert(frame.bytes.end(), f, f + fr.len);
   }
 
@@ -62,7 +110,7 @@ void Nic::transmit(net::PktBuf* pb) {
     }
   }
 
-  // Link serialization: frames queue at line rate.
+  // Link serialization: frames from every TX queue share the one wire.
   const SimTime ready = env_.now();
   const SimTime start = std::max(ready, link_free_at_);
   const SimTime depart = start + env_.cost.wire_cost(frame.bytes.size());
@@ -71,69 +119,83 @@ void Nic::transmit(net::PktBuf* pb) {
   if (opts_.hw_timestamps) frame.tx_hw_tstamp = depart;
   tx_frames_++;
   const u32 dst_ip = pb->ip.dst;
-  pool_.free(pb);  // clones in the rtx queue keep the data alive
+  pool.free(pb);  // clones in the rtx queue keep the data alive
   fabric_.inject(dst_ip, std::move(frame), depart);
 }
 
 void Nic::on_frame(WireFrame frame) {
-  // DMA into a pre-posted RX buffer.
-  net::PktBuf* pb = pool_.alloc(static_cast<u32>(frame.bytes.size()));
-  if (pb == nullptr) {
-    rx_drops_++;
-    return;
-  }
-  std::memcpy(pool_.writable(*pb, static_cast<u32>(frame.bytes.size())).data(),
-              frame.bytes.data(), frame.bytes.size());
-  pool_.arena().mark_dirty(pb->data_h, frame.bytes.size());
-  pb->len = static_cast<u32>(frame.bytes.size());
-  if (opts_.hw_timestamps) pb->hw_tstamp = env_.now();
-
-  // Parse L2-L4 (cost folded into the stack RX lump charges).
+  // Parse L2-L4 from the wire bytes first: the RSS engine hashes the
+  // 4-tuple *before* DMA so the frame lands in the right queue's
+  // pre-posted buffer (header parsing is NIC hardware, not CPU time).
   const std::span<const u8> bytes(frame.bytes);
   const auto eth = net::decode_eth(bytes);
   if (!eth || eth->ethertype != net::kEtherTypeIpv4) {
     rx_drops_++;
-    pool_.free(pb);
     return;
   }
   const auto ip = net::decode_ip(bytes.subspan(kEthHdrLen));
   if (!ip || (ip->protocol != net::kIpProtoTcp &&
               ip->protocol != net::kIpProtoUdp)) {
     rx_drops_++;
-    pool_.free(pb);
     return;
   }
-  pb->l2_off = 0;
-  pb->l3_off = kEthHdrLen;
-  pb->l4_off = kEthHdrLen + kIpHdrLen;
-  pb->l4_proto = ip->protocol;
-  pb->ip = *ip;
 
+  net::TcpHeader l4{};  // L4 view: ports + checksum (+ full TCP fields)
+  u16 payload_off;
   std::size_t l4_hdr_len;
   if (ip->protocol == net::kIpProtoTcp) {
     const auto tcp = net::decode_tcp(bytes.subspan(kEthHdrLen + kIpHdrLen));
     if (!tcp) {
       rx_drops_++;
-      pool_.free(pb);
       return;
     }
-    pb->payload_off = kAllHdrLen;
-    pb->tcp = *tcp;
+    l4 = *tcp;
+    payload_off = kAllHdrLen;
     l4_hdr_len = kTcpHdrLen;
   } else {
     const auto udp = net::decode_udp(bytes.subspan(kEthHdrLen + kIpHdrLen));
     if (!udp) {
       rx_drops_++;
-      pool_.free(pb);
       return;
     }
-    pb->payload_off = static_cast<u16>(net::kUdpAllHdrLen);
-    pb->tcp = net::TcpHeader{};  // L4 view: ports + checksum
-    pb->tcp.src_port = udp->src_port;
-    pb->tcp.dst_port = udp->dst_port;
-    pb->tcp.checksum = udp->checksum;
+    l4.src_port = udp->src_port;
+    l4.dst_port = udp->dst_port;
+    l4.checksum = udp->checksum;
+    payload_off = static_cast<u16>(net::kUdpAllHdrLen);
     l4_hdr_len = net::kUdpHdrLen;
   }
+
+  // RSS steering: same flow -> same queue -> same core, always. Only the
+  // TCP hash type is enabled (like the testbed's default RSS config);
+  // datagrams land on queue 0, where the UDP stack polls.
+  const u32 hash = rss_toeplitz(ip->src, ip->dst, l4.src_port, l4.dst_port);
+  const u32 q = ip->protocol == net::kIpProtoTcp
+                    ? hash % static_cast<u32>(queues_.size())
+                    : 0;
+  Queue& queue = queues_[q];
+
+  // DMA into a pre-posted RX buffer of the chosen queue.
+  net::PktBuf* pb = queue.pool->alloc(static_cast<u32>(frame.bytes.size()));
+  if (pb == nullptr) {
+    rx_drops_++;
+    return;
+  }
+  std::memcpy(
+      queue.pool->writable(*pb, static_cast<u32>(frame.bytes.size())).data(),
+      frame.bytes.data(), frame.bytes.size());
+  queue.pool->arena().mark_dirty(pb->data_h, frame.bytes.size());
+  pb->len = static_cast<u32>(frame.bytes.size());
+  if (opts_.hw_timestamps) pb->hw_tstamp = env_.now();
+
+  pb->l2_off = 0;
+  pb->l3_off = kEthHdrLen;
+  pb->l4_off = kEthHdrLen + kIpHdrLen;
+  pb->l4_proto = ip->protocol;
+  pb->ip = *ip;
+  pb->tcp = l4;
+  pb->payload_off = payload_off;
+  pb->rss_hash = hash;
+  pb->rss_queue = static_cast<u16>(q);
 
   const bool udp_csum_absent =
       ip->protocol == net::kIpProtoUdp && pb->tcp.checksum == 0;
@@ -145,7 +207,7 @@ void Nic::on_frame(WireFrame frame) {
         net::l4_pseudo_sum(ip->src, ip->dst, ip->protocol, l4_seg.size());
     if (inet_fold(full_sum + pseudo) != 0xffff) {
       rx_csum_errors_++;
-      pool_.free(pb);
+      queue.pool->free(pb);
       return;
     }
     pb->wire_csum = pb->tcp.checksum;
@@ -158,10 +220,11 @@ void Nic::on_frame(WireFrame frame) {
   }
 
   rx_frames_++;
-  if (sink_) {
-    sink_(pb);
+  queue.rx_frames++;
+  if (queue.sink) {
+    queue.sink(pb);
   } else {
-    pool_.free(pb);
+    queue.pool->free(pb);
   }
 }
 

@@ -7,17 +7,30 @@
 //     checksum for free (pktstore stores it as the integrity word);
 //   * hardware timestamps on both directions (PktBuf::hw_tstamp).
 //
+// Multi-queue / RSS (scale-out datapath): the NIC owns N RX/TX
+// descriptor-ring pairs. Received frames are steered by a Toeplitz hash
+// over the IPv4 4-tuple — all segments of a flow land on the same queue,
+// so per-queue state (buffer pool, TCP connection state, store shard)
+// never crosses cores. Each queue pre-posts RX buffers from its *own*
+// PktBufPool and delivers to its own sink (one busy-polling core each).
+//
 // Link serialization at wire_ns_per_byte models the 25 Gbit/s line rate;
-// frames queue behind each other on the link (link_free_at_).
+// frames from all TX queues share the single wire (link_free_at_).
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "net/pktbuf.h"
 #include "net/tcp.h"
 #include "nic/fabric.h"
 
 namespace papm::nic {
+
+// Toeplitz RSS hash over the IPv4 4-tuple (the Microsoft RSS algorithm
+// with the standard verification key). Exposed for steering tests.
+[[nodiscard]] u32 rss_toeplitz(u32 src_ip, u32 dst_ip, u16 src_port,
+                               u16 dst_port) noexcept;
 
 struct NicOptions {
   bool csum_offload_tx = true;
@@ -29,36 +42,68 @@ class Nic final : public net::NetIf {
  public:
   using Options = NicOptions;
 
-  // `pool` provides RX buffers (pre-posted descriptors) and owns TX
-  // packets handed to transmit().
+  // `pool` provides queue 0's RX buffers (pre-posted descriptors) and
+  // owns TX packets handed to transmit(). Additional queues are grown
+  // with add_queue() before traffic flows.
   Nic(sim::Env& env, Fabric& fabric, u32 ip, net::PktBufPool& pool,
       Options opts = Options());
 
+  // Adds one RX/TX descriptor-ring pair whose RX buffers come from
+  // `pool`. Returns the new queue's index.
+  u32 add_queue(net::PktBufPool& pool);
+
   // Delivery target for received, parsed packets (usually TcpStack::rx).
-  void set_sink(std::function<void(net::PktBuf*)> sink) { sink_ = std::move(sink); }
+  // set_sink() wires queue 0 (and is the single-queue interface);
+  // set_queue_sink() wires one specific queue.
+  void set_sink(std::function<void(net::PktBuf*)> sink) {
+    set_queue_sink(0, std::move(sink));
+  }
+  void set_queue_sink(u32 queue, std::function<void(net::PktBuf*)> sink);
 
   // net::NetIf
   void transmit(net::PktBuf* pb) override;
   [[nodiscard]] net::MacAddr mac() const noexcept override { return mac_; }
 
   [[nodiscard]] u32 ip() const noexcept { return ip_; }
+  [[nodiscard]] u32 num_queues() const noexcept {
+    return static_cast<u32>(queues_.size());
+  }
+
+  // RSS steering decision for a 4-tuple as received by this NIC.
+  [[nodiscard]] u32 rx_queue_for(u32 src_ip, u32 dst_ip, u16 src_port,
+                                 u16 dst_port) const noexcept {
+    return rss_toeplitz(src_ip, dst_ip, src_port, dst_port) %
+           static_cast<u32>(queues_.size());
+  }
 
   // Stats.
   [[nodiscard]] u64 tx_frames() const noexcept { return tx_frames_; }
   [[nodiscard]] u64 rx_frames() const noexcept { return rx_frames_; }
   [[nodiscard]] u64 rx_drops() const noexcept { return rx_drops_; }
   [[nodiscard]] u64 rx_csum_errors() const noexcept { return rx_csum_errors_; }
+  [[nodiscard]] u64 queue_rx_frames(u32 q) const noexcept {
+    return q < queues_.size() ? queues_[q].rx_frames : 0;
+  }
+  [[nodiscard]] u64 queue_tx_frames(u32 q) const noexcept {
+    return q < queues_.size() ? queues_[q].tx_frames : 0;
+  }
 
  private:
+  struct Queue {
+    net::PktBufPool* pool;
+    std::function<void(net::PktBuf*)> sink;
+    u64 rx_frames = 0;
+    u64 tx_frames = 0;
+  };
+
   void on_frame(WireFrame frame);
 
   sim::Env& env_;
   Fabric& fabric_;
   u32 ip_;
   net::MacAddr mac_;
-  net::PktBufPool& pool_;
   Options opts_;
-  std::function<void(net::PktBuf*)> sink_;
+  std::vector<Queue> queues_;
   SimTime link_free_at_ = 0;
 
   u64 tx_frames_ = 0;

@@ -96,7 +96,9 @@ class PmDevice {
   // --- Named roots --------------------------------------------------------
   // A fixed table of (name -> offset) entries in the region header,
   // persisted on update. Recovery looks structures up by name.
-  static constexpr std::size_t kMaxRoots = 16;
+  // 64 entries: a scaled-out host needs ~3 roots per datapath shard
+  // (packet pool, store pool, store metadata) at up to 8+ shards.
+  static constexpr std::size_t kMaxRoots = 64;
   static constexpr std::size_t kMaxRootName = 23;
 
   // Sets (or overwrites) a root. Returns invalid_argument for an

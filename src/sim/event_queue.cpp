@@ -1,24 +1,39 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <cassert>
+
 namespace papm::sim {
 
 void Engine::schedule_at(SimTime at, Callback fn) {
   if (at < clock_.now()) at = clock_.now();
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  queue_.push_back(Event{at, next_seq_++, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 bool Engine::step() {
   if (queue_.empty()) return false;
-  // Move the event out before running it: the callback may schedule more.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
+#ifndef NDEBUG
+  // Stability: events fire in non-decreasing time order, and callbacks
+  // may only *add* pending work (step() is the sole consumer).
+  assert(ev.at >= last_fired_at_ && "heap yielded an out-of-order event");
+  last_fired_at_ = ev.at;
+  const std::size_t pending_before = queue_.size();
+#endif
   clock_.jump_to(ev.at);
   ev.fn();
+#ifndef NDEBUG
+  assert(queue_.size() >= pending_before &&
+         "a callback removed pending events behind the engine's back");
+#endif
   return true;
 }
 
 void Engine::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().at <= deadline) {
+  while (!queue_.empty() && queue_.front().at <= deadline) {
     step();
   }
   clock_.jump_to(deadline);
@@ -30,9 +45,13 @@ void Engine::run_until_idle() {
 }
 
 void Engine::reset() {
-  while (!queue_.empty()) queue_.pop();
+  queue_.clear();
+  queue_.reserve(kReserveEvents);
   clock_.reset();
   next_seq_ = 0;
+#ifndef NDEBUG
+  last_fired_at_ = 0;
+#endif
 }
 
 }  // namespace papm::sim

@@ -1,12 +1,16 @@
 // Discrete-event engine.
 //
-// A single-threaded priority queue of (time, sequence, callback). Events
+// A single-threaded binary heap of (time, sequence, callback). Events
 // scheduled at equal times fire in scheduling order (the sequence number
 // breaks ties), which keeps runs bit-deterministic.
+//
+// The heap lives in a plain std::vector (not std::priority_queue) so the
+// storage can be reserved up front and events moved out without the
+// const_cast dance — schedule_at() is on the per-packet hot path of every
+// end-to-end bench.
 #pragma once
 
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.h"
@@ -18,10 +22,14 @@ class Engine {
  public:
   using Callback = std::function<void()>;
 
+  Engine() { queue_.reserve(kReserveEvents); }
+
   Clock& clock() noexcept { return clock_; }
   [[nodiscard]] SimTime now() const noexcept { return clock_.now(); }
 
-  // Schedule `fn` to run at absolute time `at` (clamped to now).
+  // Schedule `fn` to run at absolute time `at` (clamped to now). Takes
+  // the callback by value and moves it into the heap entry — callers
+  // passing rvalues pay zero std::function copies.
   void schedule_at(SimTime at, Callback fn);
 
   // Schedule `fn` to run `delay` ns from now.
@@ -45,6 +53,10 @@ class Engine {
   void reset();
 
  private:
+  // Initial heap capacity: enough for every in-flight packet + timer of
+  // the largest end-to-end sweep without a mid-run reallocation.
+  static constexpr std::size_t kReserveEvents = 4096;
+
   struct Event {
     SimTime at;
     u64 seq;
@@ -59,7 +71,10 @@ class Engine {
 
   Clock clock_;
   u64 next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> queue_;  // binary heap ordered by Later
+#ifndef NDEBUG
+  SimTime last_fired_at_ = 0;  // heap-stability check (debug builds)
+#endif
 };
 
 }  // namespace papm::sim
