@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Docs lint: every bench binary must be documented.
+#
+# Fails if a bench/bench_*.cpp exists whose name (e.g. "bench_recovery")
+# never appears in EXPERIMENTS.md — benches without a documented
+# experiment section silently rot. Run from anywhere.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+missing=0
+for src in bench/bench_*.cpp; do
+  name="$(basename "$src" .cpp)"
+  if ! grep -q "$name" EXPERIMENTS.md; then
+    echo "check_docs: $src has no matching section in EXPERIMENTS.md" >&2
+    missing=1
+  fi
+done
+
+if [ "$missing" -ne 0 ]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs: OK (all benches documented)"

@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the plain build + test pass from ROADMAP.md,
-# followed by a second ctest pass under ASan+UBSan (-DPAPM_SANITIZE=ON).
+# a second ctest pass under ASan+UBSan (-DPAPM_SANITIZE=ON), and a third
+# pass re-running the crash-point sweep suite under the sanitizers with
+# the exhaustive (scaled-up) workloads. Also lints the docs (every bench
+# binary must have an EXPERIMENTS.md section).
 # Run from the repository root.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+echo "== tier-1: docs lint =="
+scripts/check_docs.sh
 
 echo "== tier-1: default build =="
 cmake --preset default >/dev/null
@@ -15,5 +21,9 @@ echo "== tier-1: ASan+UBSan build =="
 cmake --preset asan >/dev/null
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j
+
+echo "== tier-1: exhaustive crash-point sweep (ASan+UBSan) =="
+PAPM_CRASH_EXHAUSTIVE=1 \
+  ctest --test-dir build-asan -R test_crash_recovery --output-on-failure
 
 echo "== tier-1: OK =="

@@ -1,5 +1,6 @@
-// Experiment harness: builds the two-machine testbed of §3 (single-core
-// busy-polling PM server + multi-core client over a 25 GbE fabric), runs
+// Experiment harness: builds the two-machine testbed of §3 (a busy-polling
+// PM server — one datapath shard per configured core, the paper's
+// configuration being one — + multi-core client over a 25 GbE fabric), runs
 // a closed-loop workload and reports latency, throughput and the
 // per-operation breakdown. Every bench target (Table 1, Figure 2, the
 // ablations) is a thin loop over run_experiment().

@@ -48,26 +48,37 @@ class PSkipList {
 
   using Options = PSkipListOptions;
 
-  // Creates an empty list whose head node is allocated from `pool` and
-  // registered as root `name`.
+  /// Creates an empty list whose head node is allocated from `pool` and
+  /// registered as root `name`; head and root durable before returning.
   static PSkipList create(pm::PmDevice& dev, pm::PmPool& pool,
                           std::string_view name, Options opts = Options());
 
-  // Re-attaches after a crash: finds the head by root name, walks level 0
-  // skipping dead/unreachable nodes, and rebuilds all upper towers.
+  /// Re-attaches after a crash: finds the head by root name, walks level 0
+  /// skipping dead/unreachable nodes, and rebuilds all upper towers.
+  /// The rebuild writes (and fences) tower links, but only ones that are
+  /// already rebuildable hints — so recovery is idempotent: a crash
+  /// during or right after recover() recovers to the identical state.
   static Result<PSkipList> recover(pm::PmDevice& dev, pm::PmPool& pool,
                                    std::string_view name, Options opts = Options());
 
-  // Insert or update. On update only the 8-byte payload is republished
-  // and, when `old_payload` is non-null, the replaced value is reported
-  // (so callers can reclaim what it referenced without a second
-  // traversal). Resurrected (previously erased) keys report no old value.
+  /// Insert or update; durable iff it returned ok. Ordering contract
+  /// (see file header): the node is fully persisted before the level-0
+  /// predecessor link publishes it with one atomic 8-byte store, so a
+  /// mid-put crash exposes the old state or the new one, never a torn
+  /// node; upper tower links are unfenced hints recovery rebuilds.
+  /// On update only the 8-byte payload is republished and, when
+  /// `old_payload` is non-null, the replaced value is reported (so
+  /// callers can reclaim what it referenced without a second traversal).
+  /// Resurrected (previously erased) keys report no old value.
   Status put(std::string_view key, u64 payload, u64* old_payload = nullptr);
 
   [[nodiscard]] Result<u64> get(std::string_view key) const;
 
-  // Logically then physically removes the key; the node's PM block is
-  // returned to the pool. Returns true if the key was present.
+  /// Logically then physically removes the key; the node's PM block is
+  /// returned to the pool. Returns true if the key was present.
+  /// Linearizes at the persisted dead flag: a crash before it leaves the
+  /// key intact, after it the key is gone (recovery drops dead nodes and
+  /// reclaims their blocks; the unlink itself is a rebuildable hint).
   bool erase(std::string_view key);
 
   // fn(key, payload) over keys in [from, to) (to empty = unbounded);

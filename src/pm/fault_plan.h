@@ -1,0 +1,72 @@
+// Fault plan: the failure model applied at a simulated power cut.
+//
+// PmDevice's baseline crash() models only the coarsest DCPMM failure mode
+// (unflushed lines vanish, clwb'd-but-unfenced lines race). Real devices
+// fail in richer ways — the ways "Don't Persist All" and the PM-FS surveys
+// show actually break PM designs:
+//
+//   * drop    — a dirty line that was never clwb'd is lost with the CPU
+//               cache... unless the cache happened to *evict* it first, in
+//               which case the store reached PM without any flush being
+//               issued. `evict_dirty_p` models that spontaneous eviction:
+//               stores the program never fenced can still become durable,
+//               in any order.
+//   * tear    — persistence on DCPMM is atomic at 8-byte granularity, not
+//               64: a line that was draining when the power failed may land
+//               with an arbitrary mix of old and new 8-byte words.
+//               `tear_p` is the probability an in-flight line tears instead
+//               of fully draining or fully vanishing. Aligned 8-byte stores
+//               (store_u64 — the publication primitive) never tear.
+//   * reorder — lines clwb'd after the last sfence drain independently of
+//               program order; each survives with `unfenced_drain_p`.
+//
+// A plan also *schedules* the cut: every persistence-ordering instruction
+// (one event per line clwb'd, one per sfence) increments an event counter,
+// and when it reaches `crash_at_event` the device applies the failure
+// semantics above and throws PowerFailure. Sweeping crash_at_event over
+// [1, total] crashes a workload at every flush/fence boundary — the
+// crash-point harness in tests/crash_harness.h does exactly that.
+#pragma once
+
+#include <exception>
+
+#include "common/types.h"
+
+namespace papm::pm {
+
+struct FaultPlan {
+  // Power cut fires immediately after the Nth persistence event since the
+  // plan was armed (each line clwb'd and each sfence is one event).
+  // 0 = never cut; the device still counts events (sweep sizing pass).
+  u64 crash_at_event = 0;
+
+  // Reorder: probability that a clwb'd-but-unfenced line fully drained
+  // before the cut. The baseline crash() behaviour is 0.5.
+  double unfenced_drain_p = 0.5;
+
+  // Tear: probability that an in-flight line which did not fully drain
+  // lands torn — each aligned 8-byte word independently old or new.
+  double tear_p = 0.0;
+
+  // Drop-with-eviction: probability that a dirty, never-clwb'd line was
+  // cache-evicted and reached PM anyway (possibly torn, see tear_p).
+  double evict_dirty_p = 0.0;
+
+  // Seeds the draw for this cut (combined with crash_at_event), so every
+  // crash point is individually reproducible and fault draws never
+  // perturb the workload's own env RNG stream.
+  u64 seed = 1;
+};
+
+// Thrown by PmDevice at the scheduled cut, after the persisted image has
+// been finalized under the plan's semantics. The device is already in its
+// post-crash state; callers must discard volatile handles and re-run
+// recovery. Never caught inside src/ — only crash harnesses catch it.
+class PowerFailure : public std::exception {
+ public:
+  [[nodiscard]] const char* what() const noexcept override {
+    return "simulated power failure";
+  }
+};
+
+}  // namespace papm::pm

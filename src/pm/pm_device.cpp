@@ -31,11 +31,13 @@ void PmDevice::check_range(u64 offset, u64 len) const {
 
 u8* PmDevice::at(u64 offset, u64 len) {
   check_range(offset, len);
+  accessed_bytes_ += len;
   return mem_.data() + offset;
 }
 
 const u8* PmDevice::at(u64 offset, u64 len) const {
   check_range(offset, len);
+  accessed_bytes_ += len;
   return mem_.data() + offset;
 }
 
@@ -56,6 +58,15 @@ void PmDevice::mark_dirty(u64 offset, u64 len) {
   }
 }
 
+void PmDevice::bump_fault_event() {
+  if (!plan_.has_value()) return;
+  fault_events_++;
+  if (plan_->crash_at_event != 0 && fault_events_ == plan_->crash_at_event) {
+    power_cut();
+    throw PowerFailure();
+  }
+}
+
 void PmDevice::clwb(u64 offset, u64 len) {
   if (len == 0) return;
   check_range(offset, len);
@@ -65,6 +76,7 @@ void PmDevice::clwb(u64 offset, u64 len) {
     if (dirty_.erase(line) > 0) pending_.insert(line);
     total_clwb_++;
     env_.clock().advance(env_.cost.clwb_ns);
+    bump_fault_event();  // the cut may fire with this line in flight
   }
 }
 
@@ -76,6 +88,7 @@ void PmDevice::sfence() {
   pending_.clear();
   total_sfence_++;
   env_.clock().advance(env_.cost.sfence_ns);
+  bump_fault_event();  // boundary after the fence retires
 }
 
 void PmDevice::store_u64(u64 offset, u64 value) {
@@ -91,9 +104,57 @@ u64 PmDevice::load_u64(u64 offset) const {
   return v;
 }
 
+void PmDevice::drain_line(u64 line, bool torn, Rng& rng) {
+  if (!torn) {
+    std::memcpy(persisted_.data() + line * kCacheLine,
+                mem_.data() + line * kCacheLine, kCacheLine);
+    return;
+  }
+  // 8-byte persistence granularity: each aligned word independently made
+  // it or didn't. store_u64 publications occupy exactly one word, so they
+  // are never split — the atomicity contract crash-consistent code needs.
+  for (u64 w = 0; w < kCacheLine / 8; w++) {
+    if (rng.chance(0.5)) {
+      std::memcpy(persisted_.data() + line * kCacheLine + w * 8,
+                  mem_.data() + line * kCacheLine + w * 8, 8);
+    }
+  }
+}
+
+void PmDevice::power_cut() {
+  // Deterministic per crash point: fault draws never touch env_.rng, so
+  // the workload's own stream is identical across sweep iterations.
+  Rng rng(plan_->seed ^ (fault_events_ * 0x9e3779b97f4a7c15ULL));
+  // In-flight (clwb'd, unfenced) lines: drain, tear, or vanish.
+  for (u64 line : pending_) {
+    if (rng.chance(plan_->unfenced_drain_p)) {
+      drain_line(line, /*torn=*/false, rng);
+    } else if (plan_->tear_p > 0 && rng.chance(plan_->tear_p)) {
+      drain_line(line, /*torn=*/true, rng);
+    }
+  }
+  // Dirty (never clwb'd) lines: normally lost with the cache, but any may
+  // have been evicted — reaching PM unordered, possibly torn.
+  if (plan_->evict_dirty_p > 0) {
+    for (u64 line : dirty_) {
+      if (rng.chance(plan_->evict_dirty_p)) {
+        drain_line(line, plan_->tear_p > 0 && rng.chance(plan_->tear_p), rng);
+      }
+    }
+  }
+  pending_.clear();
+  dirty_.clear();
+  mem_ = persisted_;
+}
+
 void PmDevice::crash() {
-  // clwb'd-but-unfenced lines raced the power loss: each independently
-  // may or may not have drained from the write-pending queue.
+  if (plan_.has_value()) {
+    // An armed plan's semantics also govern manually triggered cuts.
+    power_cut();
+    return;
+  }
+  // Baseline semantics: clwb'd-but-unfenced lines raced the power loss;
+  // each independently may or may not have drained.
   for (u64 line : pending_) {
     if (env_.rng.chance(0.5)) {
       std::memcpy(persisted_.data() + line * kCacheLine,

@@ -10,6 +10,10 @@
 //    — and lines that were clwb'd but not yet fenced survive only with
 //    probability 1/2 each, modelling the reordering the paper calls
 //    "dumb" device behaviour (§4);
+//  * fault injection: an armed FaultPlan (fault_plan.h) can cut power at
+//    any flush/fence boundary and apply richer failure semantics — torn
+//    64-byte lines (8-byte persistence granularity), spontaneous eviction
+//    of unflushed stores, reordered unfenced drains;
 //  * a named root directory so recovery code can find its structures
 //    after a crash/remap without raw-offset bookkeeping.
 //
@@ -18,21 +22,25 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/types.h"
+#include "pm/fault_plan.h"
 #include "sim/env.h"
 
 namespace papm::pm {
 
 class PmDevice {
  public:
-  // Creates a zeroed region of `size` bytes. `size` must be a multiple of
-  // the cache-line size and large enough for the root directory header.
+  /// Creates a zeroed region of `size` bytes. `size` must be a multiple of
+  /// the cache-line size and large enough for the root directory header.
+  /// The header is born durable (a real device is formatted offline).
   PmDevice(sim::Env& env, u64 size);
 
   PmDevice(const PmDevice&) = delete;
@@ -40,11 +48,14 @@ class PmDevice {
 
   [[nodiscard]] u64 size() const noexcept { return size_; }
 
-  // Lowest offset usable by allocators (above the root directory header).
+  /// Lowest offset usable by allocators (above the root directory header).
   [[nodiscard]] u64 data_base() const noexcept;
 
   // --- Volatile access (CPU load/store view) --------------------------
-  // Bounds-checked access into the current (cache-inclusive) image.
+  /// Bounds-checked access into the current (cache-inclusive) image.
+  /// The returned pointer is a *volatile* view: it must not be held across
+  /// crash(), and bytes written through it are not durable until
+  /// mark_dirty() + persist() (or store(), which marks for you).
   [[nodiscard]] u8* at(u64 offset, u64 len);
   [[nodiscard]] const u8* at(u64 offset, u64 len) const;
   [[nodiscard]] std::span<u8> span(u64 offset, u64 len) { return {at(offset, len), len}; }
@@ -52,46 +63,81 @@ class PmDevice {
     return {at(offset, len), len};
   }
 
-  // Store with dirty-line tracking. Use this (or mark_dirty after in-place
-  // writes through at()) so crash simulation knows what is unflushed.
+  /// Store with dirty-line tracking. Use this (or mark_dirty after in-place
+  /// writes through at()) so crash simulation knows what is unflushed.
+  /// Not durable until persist(); not atomic under a torn-write fault plan
+  /// (only store_u64 is).
   void store(u64 offset, std::span<const u8> data);
 
-  // Declare that [offset, offset+len) was mutated in place via at().
+  /// Declare that [offset, offset+len) was mutated in place via at().
+  /// Forgetting this makes a write silently non-crashable — the harness's
+  /// eviction mode (FaultPlan::evict_dirty_p) cannot surface it either.
   void mark_dirty(u64 offset, u64 len);
 
   // --- Persistence primitives -----------------------------------------
-  // clwb: queue the cache lines covering [offset, offset+len) for
-  // write-back. Charged per line. Lines not dirty are still charged (the
-  // instruction executes regardless).
+  /// clwb: queue the cache lines covering [offset, offset+len) for
+  /// write-back. Charged per line. Lines not dirty are still charged (the
+  /// instruction executes regardless). Ordering guarantee: none until the
+  /// next sfence — an unfenced line may drain, tear, or vanish at a cut.
+  /// Each line is one fault-plan event (may throw PowerFailure).
   void clwb(u64 offset, u64 len);
 
-  // sfence: all previously clwb'd lines become durable. Charged once.
+  /// sfence: all previously clwb'd lines become durable. Charged once.
+  /// This is the only ordering point: writes are durable *and ordered*
+  /// only after the fence returns. One fault-plan event (may throw
+  /// PowerFailure — after the fence's own drain completes).
   void sfence();
 
-  // Convenience: clwb + sfence over a range.
+  /// Convenience: clwb + sfence over a range.
   void persist(u64 offset, u64 len) {
     clwb(offset, len);
     sfence();
   }
 
-  // An 8-byte atomic store that is immediately durable once fenced; the
-  // publication primitive for lock-free persistent structures.
+  /// An 8-byte atomic store; the publication primitive for lock-free
+  /// persistent structures. Atomicity contract: never torn by any fault
+  /// plan (DCPMM's 8-byte persistence granularity) — but like any store
+  /// it is durable only after persist().
   void store_u64(u64 offset, u64 value);
   [[nodiscard]] u64 load_u64(u64 offset) const;
 
   // --- Crash simulation -------------------------------------------------
-  // Simulates power loss: the volatile image reverts to the persisted one.
-  // clwb'd-but-unfenced lines each survive with probability 1/2 (drawn
-  // from the env RNG). Dirty-but-not-clwb'd lines are always lost.
+  /// Simulates power loss: the volatile image reverts to the persisted one.
+  /// clwb'd-but-unfenced lines each survive with probability 1/2 (drawn
+  /// from the env RNG). Dirty-but-not-clwb'd lines are always lost.
+  /// With an armed fault plan, the plan's drain/tear/evict semantics apply
+  /// instead (drawn from the plan's own deterministic RNG).
   void crash();
 
-  // Number of lines currently dirty (unflushed) — test/introspection aid.
+  // --- Fault injection ----------------------------------------------------
+  /// Arms `plan` and resets the persistence-event counter. While armed,
+  /// every clwb'd line and every sfence counts one event; reaching
+  /// plan.crash_at_event applies the power cut (see fault_plan.h) and
+  /// throws PowerFailure from inside the flush/fence call.
+  void set_fault_plan(const FaultPlan& plan) {
+    plan_ = plan;
+    fault_events_ = 0;
+  }
+  /// Disarms injection (event counting stops; crash() reverts to the
+  /// baseline semantics). Call before running recovery code.
+  void clear_fault_plan() noexcept { plan_.reset(); }
+  /// Events counted since the plan was armed — run a workload once with
+  /// crash_at_event = 0 to size a crash-point sweep.
+  [[nodiscard]] u64 fault_events() const noexcept { return fault_events_; }
+
+  /// Number of lines currently dirty (unflushed) — test/introspection aid.
   [[nodiscard]] std::size_t dirty_lines() const noexcept { return dirty_.size(); }
   [[nodiscard]] std::size_t pending_lines() const noexcept { return pending_.size(); }
 
-  // Lifetime flush statistics (for benches).
+  /// Lifetime flush statistics (for benches).
   [[nodiscard]] u64 total_clwb() const noexcept { return total_clwb_; }
   [[nodiscard]] u64 total_sfence() const noexcept { return total_sfence_; }
+  /// Bytes resolved through at() over the device's lifetime (reads and
+  /// writes alike). Recovery benches diff this around a recovery call to
+  /// report bytes scanned.
+  [[nodiscard]] u64 total_accessed_bytes() const noexcept {
+    return accessed_bytes_;
+  }
 
   // --- Named roots --------------------------------------------------------
   // A fixed table of (name -> offset) entries in the region header,
@@ -101,8 +147,13 @@ class PmDevice {
   static constexpr std::size_t kMaxRoots = 64;
   static constexpr std::size_t kMaxRootName = 23;
 
-  // Sets (or overwrites) a root. Returns invalid_argument for an
-  // over-long name, out_of_space if the table is full.
+  /// Sets (or overwrites) a root, durably (persisted before returning).
+  /// Overwriting an existing name updates only the 8-byte offset — atomic
+  /// under every fault plan. Creating a new entry is not atomic: a cut
+  /// mid-create can leave a torn (garbage-named) entry, which recovery
+  /// ignores but which permanently consumes its slot (leak, not
+  /// corruption). Returns invalid_argument for an over-long name,
+  /// out_of_space if the table is full.
   Status set_root(std::string_view name, u64 offset);
   [[nodiscard]] Result<u64> get_root(std::string_view name) const;
 
@@ -126,6 +177,14 @@ class PmDevice {
   }
 
   void check_range(u64 offset, u64 len) const;
+  // One persistence-ordering instruction retired; fires the scheduled cut.
+  void bump_fault_event();
+  // Applies the armed plan's drain/tear/evict semantics to the persisted
+  // image and reverts the volatile view (the power cut itself).
+  void power_cut();
+  // Drains `line` into the persisted image; torn = each aligned 8-byte
+  // word independently old or new.
+  void drain_line(u64 line, bool torn, Rng& rng);
 
   sim::Env& env_;
   u64 size_;
@@ -133,8 +192,11 @@ class PmDevice {
   std::vector<u8> persisted_;  // what survives power loss
   std::unordered_set<u64> dirty_;    // line indices modified, not clwb'd
   std::unordered_set<u64> pending_;  // clwb'd, awaiting sfence
+  std::optional<FaultPlan> plan_;
+  u64 fault_events_ = 0;
   u64 total_clwb_ = 0;
   u64 total_sfence_ = 0;
+  mutable u64 accessed_bytes_ = 0;
 };
 
 }  // namespace papm::pm

@@ -30,20 +30,32 @@ class PmPool {
   static constexpr std::array<u32, 7> kClassSizes = {64,  128,  256, 512,
                                                      1024, 2048, 4096};
 
-  // Formats a new pool occupying [base, base+span_len) of `dev` and
-  // registers it under root name `name`. base must be line-aligned.
+  /// Formats a new pool occupying [base, base+span_len) of `dev` and
+  /// registers it under root name `name`; the header is durable before
+  /// this returns. base must be line-aligned. A scaled-out host calls
+  /// this once per datapath shard, carving disjoint spans of one device.
   static PmPool create(PmDevice& dev, std::string_view name, u64 base,
                        u64 span_len);
 
-  // Re-attaches to a pool previously created under `name` (post-crash).
+  /// Re-attaches to a pool previously created under `name` (post-crash).
+  /// Read-only: recovery itself writes nothing, so it is idempotent and
+  /// crash-during-recovery safe. Errc::not_found for an unknown root,
+  /// Errc::corrupted on a bad header magic.
   static Result<PmPool> recover(PmDevice& dev, std::string_view name);
 
-  // Allocates at least `size` bytes; returns the block offset. Blocks of
-  // more than the largest class are carved from the bump region rounded
-  // to a whole number of lines (and are not recycled by free()).
+  /// Allocates at least `size` bytes; returns the block offset. Blocks of
+  /// more than the largest class are carved from the bump region rounded
+  /// to a whole number of lines (and are not recycled by free()).
+  /// Ordering contract: the bump/freelist metadata update is persisted
+  /// (clwb+sfence) before returning, so a crash after alloc() can only
+  /// *leak* the block — it can never be handed out twice after recovery.
+  /// The block's contents are NOT zeroed or persisted.
   [[nodiscard]] Result<u64> alloc(u64 size);
 
-  // Returns a block obtained from alloc(size) with the same size class.
+  /// Returns a block obtained from alloc(size) with the same size class.
+  /// The freelist link is persisted before the head is published, so a
+  /// crash mid-free leaks (at worst) this one block, never corrupting
+  /// the list. The caller must have unpublished the block first.
   void free(u64 offset, u64 size);
 
   // Accounting (volatile; recomputed on recover).

@@ -1,4 +1,13 @@
 // Simulation environment: the bundle every simulated component shares.
+//
+// Determinism contract: a fresh Env starts from a fixed seed and a zero
+// clock, and every component draws randomness only from `rng` (or a
+// stream seeded from it), so a workload replays bit-identically across
+// fresh environments. The crash-point sweep (tests/crash_harness.h)
+// leans on this to re-run one workload hundreds of times with the power
+// cut scheduled at successive flush/fence boundaries — which is also why
+// PmDevice's fault draws deliberately use their own plan-seeded RNG and
+// never consume from `rng` (a cut must not perturb the workload stream).
 #pragma once
 
 #include "common/rng.h"

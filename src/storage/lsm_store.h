@@ -9,6 +9,12 @@
 //
 // Optional write-ahead log models classic LevelDB-on-PM (NoveLSM's design
 // point is precisely dropping it — ablation A-wal shows what it costs).
+//
+// An LsmStore instance is single-threaded by construction: on a
+// scaled-out host (DESIGN.md §7) the KvServer creates one store per
+// datapath shard over that shard's private PmPool slice, writes to the
+// key's home shard and merges shard views on reads — there is no
+// cross-core sharing inside a store.
 #pragma once
 
 #include <deque>
@@ -29,22 +35,32 @@ struct LsmOptions {
 
 class LsmStore {
  public:
-  // Creates a fresh store; PM structures are registered under roots
-  // "<name>.cnt", "<name>.t<N>.idx" and (optionally) "<name>.wal".
+  /// Creates a fresh store; PM structures are registered under roots
+  /// "<name>.cnt", "<name>.t<N>.idx" and (optionally) "<name>.wal", all
+  /// durable before returning.
   static LsmStore create(pm::PmDevice& dev, pm::PmPool& pool,
                          std::string_view name, LsmOptions opts = LsmOptions());
 
-  // Reattaches after a crash: recovers every table and replays the WAL
-  // tail into the mutable memtable.
+  /// Reattaches after a crash: recovers every table and replays the WAL
+  /// tail into the mutable memtable (the replay re-runs normal puts, so a
+  /// crash *during* recovery is itself recoverable). `opts` must match
+  /// the options the store was created with.
   static Result<LsmStore> recover(pm::PmDevice& dev, pm::PmPool& pool,
                                   std::string_view name,
                                   LsmOptions opts = LsmOptions());
 
+  /// Durable iff it returned ok (the memtable's record-then-publish
+  /// ordering; with use_wal the WAL append persists first, so the value
+  /// additionally survives even if the memtable publish was cut short).
+  /// May rotate the memtable first when the limit is configured.
   Status put(std::string_view key, std::span<const u8> value,
              OpBreakdown* bd = nullptr);
+  /// Tombstone (or physical erase in the single-table configuration);
+  /// durable iff ok, same ordering contract as put().
   Status erase(std::string_view key);
 
-  // Copy-out read across all tables; verifies checksums.
+  /// Copy-out read across all tables, newest first; verifies checksums
+  /// (Errc::corrupted surfaces torn records instead of returning them).
   [[nodiscard]] Result<std::vector<u8>> get(std::string_view key) const;
 
   // Ordered range scan across all tables (newest value wins, tombstones
@@ -53,7 +69,10 @@ class LsmStore {
             const std::function<bool(std::string_view, std::span<const u8>)>& fn)
       const;
 
-  // Freezes the mutable memtable (no-op when empty).
+  /// Freezes the mutable memtable (no-op when empty). The new table's
+  /// roots are created and persisted before the table count is published
+  /// with one atomic 8-byte overwrite — a mid-rotation crash recovers to
+  /// either the old or the new table set, never a mix.
   Status rotate();
 
   // Merges every frozen table into the mutable one and drops them —

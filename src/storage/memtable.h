@@ -26,18 +26,27 @@ class PmMemtable {
  public:
   static constexpr u64 kValueHdr = 16;
 
+  /// Creates an empty memtable; index head durable under root `name`.
   static PmMemtable create(pm::PmDevice& dev, pm::PmPool& pool,
                            std::string_view name);
+  /// Re-attaches post-crash (rebuilds the index's volatile towers; see
+  /// PSkipList::recover for what that may write).
   static Result<PmMemtable> recover(pm::PmDevice& dev, pm::PmPool& pool,
                                     std::string_view name);
 
-  // Inserts or overwrites. `bd` (optional) receives the phase breakdown.
+  /// Inserts or overwrites. `bd` (optional) receives the phase breakdown.
+  /// Persistence contract: the checksummed value record is fully persisted
+  /// *before* the index publishes it (8-byte payload link), so a crash
+  /// mid-put exposes either the old value or the new one, never a torn
+  /// record; the value is durable iff put() returned ok. A crash between
+  /// record persist and index publish leaks the record's block.
   Status put(std::string_view key, std::span<const u8> value,
              const StoreKnobs& knobs, OpBreakdown* bd = nullptr) {
     return put_impl(key, value, /*flags=*/0, knobs, bd);
   }
 
-  // Deletion marker for LSM semantics: shadows older tables' entries.
+  /// Deletion marker for LSM semantics: shadows older tables' entries.
+  /// Same ordering contract as put() (a tombstone is a flagged record).
   Status put_tombstone(std::string_view key, const StoreKnobs& knobs,
                        OpBreakdown* bd = nullptr) {
     return put_impl(key, {}, kTombstone, knobs, bd);
@@ -51,14 +60,18 @@ class PmMemtable {
   };
   [[nodiscard]] Result<Entry> lookup(std::string_view key) const;
 
-  // Returns a copy of the value; verifies the checksum when one was
-  // stored (Errc::corrupted on mismatch).
+  /// Returns a copy of the value; verifies the checksum when one was
+  /// stored (Errc::corrupted on mismatch — a torn record can never be
+  /// returned as ok).
   Result<std::vector<u8>> get(std::string_view key) const;
 
   // Zero-copy view of the stored value (valid until the next mutation or
   // crash). No checksum verification.
   Result<std::span<const u8>> get_view(std::string_view key) const;
 
+  /// Physical removal: the index persists the node's dead flag (the
+  /// linearization point) before unlinking and freeing the record, so a
+  /// mid-erase crash leaves the key either present-and-intact or gone.
   bool erase(std::string_view key);
 
   // fn(key, value_view, tombstone); ordered; stops early on false.

@@ -20,6 +20,8 @@
 
 namespace papm::storage {
 
+/// Persistence contract: none, by design — every method is DRAM-only and
+/// the whole store vanishes at a crash (that is the point of comparison).
 class VolatileKv {
  public:
   explicit VolatileKv(sim::Env& env) : env_(&env) {}

@@ -25,21 +25,29 @@ enum class WalRecordType : u8 { put = 1, erase = 2 };
 
 class Wal {
  public:
-  // Formats a log over [base, base+len) and registers root `name`.
+  /// Formats a log over [base, base+len) and registers root `name`;
+  /// header durable before returning.
   static Wal create(pm::PmDevice& dev, std::string_view name, u64 base, u64 len);
+  /// Re-attaches post-crash; writes nothing (idempotent).
   static Result<Wal> recover(pm::PmDevice& dev, std::string_view name);
 
-  // Appends and persists one record. out_of_space when full.
+  /// Appends and persists one record. out_of_space when full.
+  /// Write-ahead ordering: the CRC-framed record is persisted *before*
+  /// the 8-byte tail pointer is published and persisted, so a crash
+  /// anywhere inside append() leaves the previous tail intact and the
+  /// half-written record invisible. The record is durable iff append()
+  /// returned ok — the WAL's ack boundary.
   Status append(WalRecordType type, std::string_view key,
                 std::span<const u8> value);
 
-  // Replays all complete records in order. Truncated/corrupt tail records
-  // (torn writes) stop replay cleanly — they were never acknowledged.
-  // Returns the number of records applied.
+  /// Replays all complete records in order. Truncated/corrupt tail records
+  /// (torn writes) stop replay cleanly — they were never acknowledged.
+  /// Returns the number of records applied. Read-only.
   u64 replay(const std::function<void(WalRecordType, std::string_view,
                                       std::span<const u8>)>& apply) const;
 
-  // Logical reset (tail back to the start), persisted.
+  /// Logical reset (tail back to the start), persisted before returning.
+  /// Callers must persist whatever state supersedes the log *first*.
   void truncate();
 
   [[nodiscard]] u64 bytes_used() const;

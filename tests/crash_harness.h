@@ -1,0 +1,226 @@
+// Crash-point sweep harness.
+//
+// Drives a backend through a write workload while a PmDevice FaultPlan is
+// armed, cutting power at *every* flush/fence boundary in turn, and after
+// each cut re-opens the device and checks the recovery invariants the
+// paper's crash-consistency story depends on:
+//
+//   I1  no committed-and-acked value is lost or altered;
+//   I2  an in-flight (started, not acked) op resolves to exactly one of
+//       {old value, new value, absent} — never a torn or mixed value;
+//   I3  structural validity: recovery succeeds and the backend's own
+//       validate() passes;
+//   I4  recovery is idempotent: crashing again immediately after recovery
+//       and recovering a second time observes the identical state.
+//
+// Usage: implement CrashScenario (format / workload / verify) for the
+// backend, then call run_crash_sweep() with a factory producing a fresh
+// scenario per crash point. The workload must be deterministic given a
+// fresh sim::Env — the harness counts the boundaries once, then replays
+// the identical workload with the cut scheduled at event k for every
+// k in [1, boundaries]. See docs/CRASH_CONSISTENCY.md for a walkthrough
+// and test_crash_recovery.cpp for the backend scenarios.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "pm/fault_plan.h"
+#include "pm/pm_device.h"
+#include "sim/env.h"
+
+namespace papm::crashtest {
+
+// PAPM_CRASH_EXHAUSTIVE=1 (set by scripts/tier1.sh for the sanitizer
+// pass) scales workloads up; the default keeps the sweep fast enough for
+// the inner dev loop while still covering every boundary of each op kind.
+inline bool exhaustive() {
+  const char* e = std::getenv("PAPM_CRASH_EXHAUSTIVE");
+  return e != nullptr && e[0] != '\0' && e[0] != '0';
+}
+
+// Records what the workload has been *acknowledged* as durable, plus the
+// single op in flight when the power cut hit. Invariants are judged
+// against this log: acked ops must survive exactly; the in-flight op may
+// land old/new/absent.
+class AckLog {
+ public:
+  using Value = std::vector<u8>;
+
+  struct Op {
+    enum Kind { kPut, kErase };
+    Kind kind;
+    std::string key;
+    Value val;  // empty for kErase
+  };
+
+  // Bracket every workload op: begin_*() before touching the backend,
+  // ack() after the backend returned success. A cut between the two
+  // leaves the op recorded as in-flight.
+  void begin_put(std::string key, Value val) {
+    inflight_ = Op{Op::kPut, std::move(key), std::move(val)};
+  }
+  void begin_erase(std::string key) {
+    inflight_ = Op{Op::kErase, std::move(key), {}};
+  }
+  void ack() {
+    ASSERT_TRUE(inflight_.has_value()) << "ack() without begin_*()";
+    if (inflight_->kind == Op::kPut) {
+      acked_[inflight_->key] = std::move(inflight_->val);
+    } else {
+      acked_.erase(inflight_->key);
+    }
+    inflight_.reset();
+  }
+
+  // Committed (acked) key -> value map at the moment of the cut. For the
+  // in-flight key this still holds the *prior* committed value, if any.
+  [[nodiscard]] const std::map<std::string, Value>& acked() const {
+    return acked_;
+  }
+  [[nodiscard]] const std::optional<Op>& inflight() const { return inflight_; }
+
+ private:
+  std::map<std::string, Value> acked_;
+  std::optional<Op> inflight_;
+};
+
+// One backend under test. A fresh instance is constructed for every crash
+// point (volatile state must not leak across cuts); persistent handles to
+// the store live in the subclass.
+class CrashScenario {
+ public:
+  virtual ~CrashScenario() = default;
+
+  // Build the persistent structures on `dev`. Runs with injection armed
+  // but the cut scheduled inside the workload, so formatting completes.
+  virtual void format(pm::PmDevice& dev) = 0;
+
+  // The deterministic write workload. Every op is bracketed with
+  // log.begin_*()/log.ack(). PowerFailure may fly out of any PM call.
+  virtual void workload(pm::PmDevice& dev, AckLog& log) = 0;
+
+  // Post-cut: recover from `dev` and assert invariants I1-I4 with gtest
+  // macros. Injection is disarmed; dev.crash() may be used for the
+  // idempotence re-crash.
+  virtual void verify(pm::PmDevice& dev, const AckLog& log) = 0;
+};
+
+struct SweepOptions {
+  u64 dev_size = 8ull << 20;
+  pm::FaultPlan plan{};  // failure semantics; crash_at_event set per point
+  u64 stride = 1;        // test every stride-th boundary (1 = all)
+};
+
+struct SweepResult {
+  u64 boundaries = 0;     // flush/fence events in one full workload
+  u64 points_tested = 0;  // crash points actually injected
+};
+
+using ScenarioFactory = std::function<std::unique_ptr<CrashScenario>()>;
+
+// Checks invariants I1 + I2 for map-shaped backends, given a closure that
+// reads one key from the *recovered* store. The closure must surface
+// corruption as an error (checksum-verified reads do) — a torn value must
+// never come back as ok().
+inline void verify_kv(const AckLog& log,
+                      const std::function<Result<std::vector<u8>>(
+                          const std::string&)>& get) {
+  for (const auto& [key, val] : log.acked()) {
+    if (log.inflight().has_value() && log.inflight()->key == key) continue;
+    auto r = get(key);
+    ASSERT_TRUE(r.ok()) << "I1: acked key '" << key << "' lost ("
+                        << to_string(r.errc()) << ")";
+    EXPECT_EQ(r.value(), val) << "I1: acked value altered for '" << key << "'";
+  }
+  if (!log.inflight().has_value()) return;
+  const AckLog::Op& op = *log.inflight();
+  const auto prior = log.acked().find(op.key);
+  const bool has_prior = prior != log.acked().end();
+  auto r = get(op.key);
+  if (op.kind == AckLog::Op::kPut) {
+    if (r.ok()) {
+      const bool is_new = r.value() == op.val;
+      const bool is_old = has_prior && r.value() == prior->second;
+      EXPECT_TRUE(is_new || is_old)
+          << "I2: torn/mixed value visible for in-flight put '" << op.key << "'";
+    } else {
+      EXPECT_EQ(r.errc(), Errc::not_found)
+          << "I2: in-flight put '" << op.key << "' read as corrupt";
+      EXPECT_FALSE(has_prior)
+          << "I1: in-flight put '" << op.key << "' destroyed prior value";
+    }
+  } else {  // kErase
+    if (r.ok()) {
+      ASSERT_TRUE(has_prior)
+          << "I2: in-flight erase '" << op.key << "' resurrected a value";
+      EXPECT_EQ(r.value(), prior->second)
+          << "I2: in-flight erase '" << op.key << "' left a torn value";
+    } else {
+      EXPECT_EQ(r.errc(), Errc::not_found);
+    }
+  }
+}
+
+// The sweep driver. Pass 0 sizes the sweep (crash_at_event = 0 counts
+// events without cutting) and sanity-checks a clean end-of-workload crash;
+// then every boundary k gets a fresh env + device + scenario with the cut
+// scheduled at event k.
+inline SweepResult run_crash_sweep(const SweepOptions& opt,
+                                   const ScenarioFactory& make) {
+  SweepResult res;
+  {
+    sim::Env env;
+    pm::PmDevice dev(env, opt.dev_size);
+    auto sc = make();
+    sc->format(dev);
+    pm::FaultPlan counting = opt.plan;
+    counting.crash_at_event = 0;
+    dev.set_fault_plan(counting);
+    AckLog log;
+    sc->workload(dev, log);
+    res.boundaries = dev.fault_events();
+    dev.crash();  // end-of-workload cut, plan semantics
+    dev.clear_fault_plan();
+    sc->verify(dev, log);
+  }
+  EXPECT_GT(res.boundaries, 0u) << "workload issued no flush/fence";
+  if (::testing::Test::HasFailure()) return res;
+
+  for (u64 k = 1; k <= res.boundaries; k += opt.stride) {
+    SCOPED_TRACE("crash at flush/fence event " + std::to_string(k) + " of " +
+                 std::to_string(res.boundaries));
+    sim::Env env;
+    pm::PmDevice dev(env, opt.dev_size);
+    auto sc = make();
+    sc->format(dev);
+    pm::FaultPlan plan = opt.plan;
+    plan.crash_at_event = k;
+    dev.set_fault_plan(plan);
+    AckLog log;
+    bool cut = false;
+    try {
+      sc->workload(dev, log);
+    } catch (const pm::PowerFailure&) {
+      cut = true;
+    }
+    EXPECT_TRUE(cut) << "workload not deterministic: event " << k
+                     << " never reached on replay";
+    if (!cut) break;
+    dev.clear_fault_plan();
+    sc->verify(dev, log);
+    res.points_tested++;
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+  return res;
+}
+
+}  // namespace papm::crashtest
