@@ -5,14 +5,31 @@
 // Series: "Net. + persist." (raw copy+flush app) vs "Net. + data mgmt. +
 // persist." (NoveLSM-like store) — the paper's two — plus the projection
 // series for the proposed packet-metadata store (DESIGN.md P2).
+//
+// --metrics additionally prints the per-cell PM flush/fence accounting
+// (clwb/sfence/bytes per op — the persistence-cost delta between the
+// backends) and the full metric registries for the largest sweep point.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "app/harness.h"
+#include "bench_json.h"
 
 using namespace papm;
 using namespace papm::app;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool want_metrics = benchio::has_flag(argc, argv, "--metrics");
+  struct FlushCell {
+    int conns;
+    Backend backend;
+    pm::PmDevice::FlushEpoch flush;
+    u64 ops;
+  };
+  std::vector<FlushCell> flush_cells;
+  std::string last_lsm_report;
+
   std::printf(
       "=== Figure 2: 1KB writes over parallel persistent TCP connections "
       "===\n");
@@ -30,12 +47,19 @@ int main() {
     cfg.measure_ns = 60 * kNsPerMs;
     cfg.keyspace = 4096;
 
+    cfg.collect_metrics = want_metrics;
     cfg.backend = Backend::raw_persist;
     const auto raw = run_experiment(cfg);
     cfg.backend = Backend::lsm;
     const auto lsm = run_experiment(cfg);
     cfg.backend = Backend::pktstore;
     const auto pkt = run_experiment(cfg);
+    if (want_metrics) {
+      flush_cells.push_back({conns, Backend::raw_persist, raw.flush, raw.ops});
+      flush_cells.push_back({conns, Backend::lsm, lsm.flush, lsm.ops});
+      flush_cells.push_back({conns, Backend::pktstore, pkt.flush, pkt.ops});
+      last_lsm_report = lsm.metrics_report;
+    }
 
     std::printf(
         "%5d | %12.1f %8.1f %12.1f | %12.1f %8.1f %12.1f | %11.1f %12.1f | "
@@ -44,6 +68,22 @@ int main() {
         lsm.mean_rtt_us(), lsm.p99_rtt_us(), lsm.kreq_per_s, pkt.mean_rtt_us(),
         pkt.kreq_per_s, (lsm.rtt.mean() / raw.rtt.mean() - 1.0) * 100.0,
         (1.0 - lsm.kreq_per_s / raw.kreq_per_s) * 100.0);
+  }
+
+  if (want_metrics) {
+    std::printf("\n--- PM flush/fence accounting per backend ---\n");
+    std::printf("%5s %-12s %10s %10s %10s\n", "conns", "backend", "clwb/op",
+                "sfence/op", "B/op");
+    for (const auto& c : flush_cells) {
+      const double ops = c.ops > 0 ? static_cast<double>(c.ops) : 1.0;
+      std::printf("%5d %-12s %10.1f %10.2f %10.0f\n", c.conns,
+                  std::string(to_string(c.backend)).c_str(),
+                  static_cast<double>(c.flush.clwb) / ops,
+                  static_cast<double>(c.flush.sfence) / ops,
+                  static_cast<double>(c.flush.bytes_flushed) / ops);
+    }
+    std::printf("\n--- Metric registries (lsm, largest sweep point) ---\n%s",
+                last_lsm_report.c_str());
   }
   return 0;
 }

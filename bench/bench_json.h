@@ -3,7 +3,10 @@
 //
 // The writer emits fixed-precision numbers (%.6f) so that two runs with
 // the same seed and configuration produce byte-identical files — the
-// determinism contract the scaling experiments assert.
+// determinism contract the scaling experiments assert. (The metadata
+// block carries the varying context — git sha, build flags — so files
+// stay comparable across builds without breaking that contract within
+// one build.)
 #pragma once
 
 #include <cstdio>
@@ -11,14 +14,24 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace papm::benchio {
+
+// Bump when the emitted record shape changes incompatibly.
+inline constexpr long long kSchemaVersion = 2;
+
+// Returns the value following `flag`, or empty if absent.
+inline std::string arg_value(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i + 1 < argc; i++) {
+    if (std::string_view(argv[i]) == flag) return argv[i + 1];
+  }
+  return {};
+}
 
 // Returns the value following "--json", or empty if absent.
 inline std::string json_path_from_args(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; i++) {
-    if (std::string_view(argv[i]) == "--json") return argv[i + 1];
-  }
-  return {};
+  return arg_value(argc, argv, "--json");
 }
 
 inline bool has_flag(int argc, char** argv, std::string_view flag) {
@@ -97,5 +110,25 @@ class JsonWriter {
   std::string out_;
   bool fresh_ = true;
 };
+
+// Emits the shared provenance block every bench record starts with:
+// schema version, the commit the binary was built from, the build type
+// and whether observability hooks were compiled in. Call right after
+// begin_object().
+inline void write_metadata(JsonWriter& w, std::string_view bench) {
+  w.field("schema", kSchemaVersion);
+  w.field("bench", bench);
+#ifdef PAPM_GIT_SHA
+  w.field("git_sha", PAPM_GIT_SHA);
+#else
+  w.field("git_sha", "unknown");
+#endif
+#ifdef NDEBUG
+  w.field("build", "release");
+#else
+  w.field("build", "debug");
+#endif
+  w.field("obs", obs::kEnabled ? "on" : "off");
+}
 
 }  // namespace papm::benchio

@@ -54,6 +54,7 @@ RunResult run_cell(Backend backend, int cores, int conns, SimTime measure) {
 int main(int argc, char** argv) {
   const std::string json_path = benchio::json_path_from_args(argc, argv);
   const bool quick = benchio::has_flag(argc, argv, "--quick");
+  const bool want_metrics = benchio::has_flag(argc, argv, "--metrics");
 
   const std::vector<int> cores_sweep = quick ? std::vector<int>{1, 4}
                                              : std::vector<int>{1, 2, 4, 8};
@@ -90,10 +91,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (want_metrics) {
+    // Per-core flush/fence accounting: the per-op persistence cost must
+    // stay flat as shards are added (shared-nothing), even as totals grow.
+    std::printf("\n--- PM flush/fence accounting per cell ---\n");
+    std::printf("%-12s %5s %6s %10s %10s %10s\n", "backend", "cores", "conns",
+                "clwb/op", "sfence/op", "B/op");
+    for (const Cell& c : cells) {
+      const double ops = c.r.ops > 0 ? static_cast<double>(c.r.ops) : 1.0;
+      std::printf("%-12s %5d %6d %10.1f %10.2f %10.0f\n",
+                  std::string(to_string(c.backend)).c_str(), c.cores, c.conns,
+                  static_cast<double>(c.r.flush.clwb) / ops,
+                  static_cast<double>(c.r.flush.sfence) / ops,
+                  static_cast<double>(c.r.flush.bytes_flushed) / ops);
+    }
+  }
+
   if (!json_path.empty()) {
     benchio::JsonWriter w;
     w.begin_object();
-    w.field("bench", "scaling");
+    benchio::write_metadata(w, "scaling");
     w.field("seed", 42LL);
     w.field("measure_ns", static_cast<long long>(measure));
     w.begin_array("results");
@@ -108,6 +125,9 @@ int main(int argc, char** argv) {
       w.field("server_cpu_util", c.r.server_cpu_util);
       w.field("ops", static_cast<long long>(c.r.ops));
       w.field("errors", static_cast<long long>(c.r.server_errors));
+      w.field("clwb", static_cast<long long>(c.r.flush.clwb));
+      w.field("sfence", static_cast<long long>(c.r.flush.sfence));
+      w.field("bytes_flushed", static_cast<long long>(c.r.flush.bytes_flushed));
       w.end_object();
     }
     w.end_array();

@@ -4,9 +4,21 @@
 // discard server; persistence and data-management rows come from the
 // instrumented NoveLSM-like store, and the breakdown is confirmed by
 // skipping one logical operation at a time and differencing the RTTs.
+//
+// Observability flags (no-ops under PAPM_OBS=OFF):
+//   --trace <path>        write the measurement window's spans as Chrome
+//                         trace_events JSON (Perfetto-loadable) and print
+//                         the span-derived attribution table
+//   --metrics             print the merged server+client metric registries
+//                         and the PM flush/fence accounting
+//   --check-attribution   verify that discard-RTT + the traced data-mgmt
+//                         stage means reproduces the measured LSM RTT
+//                         within 1% (exit 1 otherwise)
 #include <cstdio>
+#include <cstdlib>
 
 #include "app/harness.h"
+#include "bench_json.h"
 
 using namespace papm;
 using namespace papm::app;
@@ -28,12 +40,22 @@ void row(const char* overhead, const char* op, double paper_us, double ours_us) 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = benchio::arg_value(argc, argv, "--trace");
+  const bool want_metrics = benchio::has_flag(argc, argv, "--metrics");
+  const bool check_attr = benchio::has_flag(argc, argv, "--check-attribution");
+  const bool want_trace = !trace_path.empty() || check_attr;
+
   std::printf("=== Table 1: Latency breakdown of RTT for a 1KB write ===\n");
   std::printf("%-12s %-38s %8s %9s\n", "Overhead", "Operation", "paper", "ours");
 
-  const auto discard = run_experiment(base(Backend::discard));
-  const auto lsm = run_experiment(base(Backend::lsm));
+  auto discard_cfg = base(Backend::discard);
+  discard_cfg.trace = want_trace;
+  const auto discard = run_experiment(discard_cfg);
+  auto lsm_cfg = base(Backend::lsm);
+  lsm_cfg.trace = want_trace;
+  lsm_cfg.collect_metrics = want_metrics;
+  const auto lsm = run_experiment(lsm_cfg);
   const auto& bd = lsm.avg_breakdown;
 
   row("Networking", "TCP/IP & HTTP in client+server, fabric", 26.71,
@@ -50,6 +72,89 @@ int main() {
   row("Persistence", "Flush CPU caches to PM", 1.94,
       static_cast<double>(bd.persist_ns) / 1000.0);
   row("Total", "", 34.79, lsm.mean_rtt_us());
+
+  if (want_trace) {
+    // The same table, derived from the per-request spans instead of the
+    // OpBreakdown accumulators: per-stage per-request means over the
+    // measurement window.
+    const obs::Attribution& at = lsm.attribution;
+    std::printf("\n--- Span-derived attribution (lsm, %llu requests) ---\n",
+                static_cast<unsigned long long>(at.requests));
+    std::printf("%-14s %10s %10s\n", "stage", "mean[us]", "spans");
+    for (int i = 0; i < obs::kStages; i++) {
+      const auto s = static_cast<obs::Stage>(i);
+      if (at.spans[i] == 0) continue;
+      std::printf("%-14s %10.2f %10llu\n",
+                  std::string(obs::to_string(s)).c_str(),
+                  at.mean_ns(s) / 1000.0,
+                  static_cast<unsigned long long>(at.spans[i]));
+    }
+    std::printf("%-14s %10.2f  (server-side stages)\n", "sum",
+                at.server_sum_ns() / 1000.0);
+
+    // The Table 1 composition as a self-check: networking RTT (measured
+    // against the discard server) plus the *additional* traced
+    // data-management and persistence work must reproduce the measured
+    // LSM RTT. The parse stage appears in both runs (head parse), so
+    // only its delta counts as data management.
+    const obs::Attribution& dat = discard.attribution;
+    const double extra_ns =
+        (at.mean_ns(obs::Stage::parse) - dat.mean_ns(obs::Stage::parse)) +
+        at.mean_ns(obs::Stage::checksum) + at.mean_ns(obs::Stage::copy) +
+        at.mean_ns(obs::Stage::alloc_index) + at.mean_ns(obs::Stage::persist);
+    const double reconstructed_us = discard.mean_rtt_us() + extra_ns / 1000.0;
+    const double err =
+        (reconstructed_us - lsm.mean_rtt_us()) / lsm.mean_rtt_us();
+    std::printf(
+        "\nattribution check: discard RTT %.2f + traced data mgmt %.2f = "
+        "%.2f us vs measured %.2f us (%+.2f%%)\n",
+        discard.mean_rtt_us(), extra_ns / 1000.0, reconstructed_us,
+        lsm.mean_rtt_us(), err * 100.0);
+    if (check_attr) {
+      if (!obs::kEnabled) {
+        std::printf("attribution check: SKIP (built with PAPM_OBS=OFF)\n");
+      } else if (err > 0.01 || err < -0.01) {
+        std::printf("attribution check: FAIL (|error| > 1%%)\n");
+        return 1;
+      } else {
+        std::printf("attribution check: OK\n");
+      }
+    }
+  }
+
+  if (want_metrics) {
+    std::printf("\n--- PM flush/fence accounting (lsm window) ---\n");
+    const auto& f = lsm.flush;
+    const double ops = lsm.ops > 0 ? static_cast<double>(lsm.ops) : 1.0;
+    std::printf("clwb: %llu (%.1f/op)  sfence: %llu (%.2f/op)  "
+                "flushed: %llu B (%.0f B/op)\n",
+                static_cast<unsigned long long>(f.clwb),
+                static_cast<double>(f.clwb) / ops,
+                static_cast<unsigned long long>(f.sfence),
+                static_cast<double>(f.sfence) / ops,
+                static_cast<unsigned long long>(f.bytes_flushed),
+                static_cast<double>(f.bytes_flushed) / ops);
+    std::printf("dirty-line hwm: %llu  pending-line hwm: %llu\n",
+                static_cast<unsigned long long>(f.dirty_hwm),
+                static_cast<unsigned long long>(f.pending_hwm));
+    std::printf("\n--- Metric registries (lsm window) ---\n%s",
+                lsm.metrics_report.c_str());
+  }
+
+  if (!trace_path.empty()) {
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_table1: cannot write %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::fwrite(lsm.trace_json.data(), 1, lsm.trace_json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote %s (Chrome trace_events; load in Perfetto or "
+                "chrome://tracing)\n",
+                trace_path.c_str());
+  }
 
   // Cross-check by skipping one logical operation at a time (§3: "we
   // obtain the breakdown ... by further modifying the storage stack to

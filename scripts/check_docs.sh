@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Docs lint: every bench binary must be documented.
-#
-# Fails if a bench/bench_*.cpp exists whose name (e.g. "bench_recovery")
-# never appears in EXPERIMENTS.md — benches without a documented
-# experiment section silently rot. Run from anywhere.
+# Docs lint:
+#   1. every bench binary must be documented — fails if a
+#      bench/bench_*.cpp exists whose name (e.g. "bench_recovery") never
+#      appears in EXPERIMENTS.md;
+#   2. every registered metric must be documented — fails if a metric
+#      name registered in src/ (counter("...") / gauge("...") /
+#      histogram("...") — always string literals by convention, see
+#      src/obs/metrics.h) never appears in docs/OBSERVABILITY.md.
+# Run from anywhere.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,8 +21,18 @@ for src in bench/bench_*.cpp; do
   fi
 done
 
+# Registered metric names (string literals at the registration sites).
+metrics="$(grep -rhoE '(counter|gauge|histogram)\("[^"]+"\)' src/ \
+  | sed -E 's/.*\("([^"]+)"\).*/\1/' | sort -u)"
+for m in $metrics; do
+  if ! grep -qF "$m" docs/OBSERVABILITY.md; then
+    echo "check_docs: metric '$m' is not documented in docs/OBSERVABILITY.md" >&2
+    missing=1
+  fi
+done
+
 if [ "$missing" -ne 0 ]; then
   echo "check_docs: FAILED" >&2
   exit 1
 fi
-echo "check_docs: OK (all benches documented)"
+echo "check_docs: OK (all benches and metrics documented)"

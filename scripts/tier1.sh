@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the plain build + test pass from ROADMAP.md,
-# a second ctest pass under ASan+UBSan (-DPAPM_SANITIZE=ON), and a third
+# a second ctest pass under ASan+UBSan (-DPAPM_SANITIZE=ON), a third
 # pass re-running the crash-point sweep suite under the sanitizers with
-# the exhaustive (scaled-up) workloads. Also lints the docs (every bench
-# binary must have an EXPERIMENTS.md section).
+# the exhaustive (scaled-up) workloads, and a fourth build+test pass with
+# observability compiled out (-DPAPM_OBS=OFF) proving the kill switch
+# leaves the tree buildable and the tests green. Also lints the docs
+# (every bench binary must have an EXPERIMENTS.md section; every
+# registered metric an entry in docs/OBSERVABILITY.md).
 # Run from the repository root.
 set -euo pipefail
 
@@ -25,5 +28,10 @@ ctest --test-dir build-asan --output-on-failure -j
 echo "== tier-1: exhaustive crash-point sweep (ASan+UBSan) =="
 PAPM_CRASH_EXHAUSTIVE=1 \
   ctest --test-dir build-asan -R test_crash_recovery --output-on-failure
+
+echo "== tier-1: PAPM_OBS=OFF build (kill switch) =="
+cmake --preset noobs >/dev/null
+cmake --build build-noobs -j
+ctest --test-dir build-noobs --output-on-failure -j
 
 echo "== tier-1: OK =="

@@ -3,7 +3,15 @@
 namespace papm::app {
 
 WrkClient::WrkClient(Host& host, ClientConfig cfg)
-    : host_(host), cfg_(std::move(cfg)) {}
+    : host_(host), cfg_(std::move(cfg)) {
+  trace_.set_track(obs::kClientTrack);
+  obs::MetricRegistry& reg = host_.metrics(0);
+  m_requests_ = &reg.counter("client.requests");
+  m_http_errors_ = &reg.counter("client.http_errors");
+  m_resp_parsed_ = &reg.counter("http.responses_parsed");
+  m_parse_err_ = &reg.counter("http.parse_errors");
+  m_rtt_ns_ = &reg.histogram("client.rtt_ns");
+}
 
 std::vector<u8> WrkClient::value_for(u64 key_idx) const {
   // Deterministic value per key so GETs can be validated cheaply.
@@ -16,6 +24,7 @@ std::vector<u8> WrkClient::value_for(u64 key_idx) const {
 void WrkClient::start() {
   for (int i = 0; i < cfg_.connections; i++) {
     auto ctx = std::make_unique<ConnCtx>();
+    ctx->parser.set_metrics(m_resp_parsed_, m_parse_err_);
     ctx->rng = Rng(cfg_.seed + static_cast<u64>(i) * 7919);
     if (cfg_.zipf_theta > 0.0) {
       ctx->zipf.emplace(cfg_.keyspace, cfg_.zipf_theta,
@@ -44,6 +53,7 @@ void WrkClient::issue(ConnCtx& ctx) {
   auto& env = host_.env();
   ctx.issued_at = env.now();
   ctx.in_flight = true;
+  obs::inc(m_requests_);
 
   const u64 key_idx = ctx.zipf.has_value() ? ctx.zipf->next()
                                            : ctx.rng.next_below(cfg_.keyspace);
@@ -65,11 +75,20 @@ void WrkClient::on_readable(ConnCtx& ctx) {
     const auto resp = ctx.parser.feed(std::span<const u8>(buf.data(), n));
     if (resp.has_value()) {
       env.clock().advance(env.cost.scaled(env.cost.client_http_parse_ns));
-      if (resp->status >= 400) http_errors_++;
+      if (resp->status >= 400) {
+        http_errors_++;
+        obs::inc(m_http_errors_);
+      }
       if (ctx.in_flight) {
-        rtt_.add(static_cast<double>(env.now() - ctx.issued_at));
+        const SimTime rtt = env.now() - ctx.issued_at;
+        rtt_.add(static_cast<double>(rtt));
         completed_++;
         ctx.in_flight = false;
+        obs::observe(m_rtt_ns_, rtt);
+        if (tracing_) {
+          trace_.record(next_req_, obs::Stage::rtt, ctx.issued_at, rtt);
+        }
+        next_req_++;
       }
       issue(ctx);  // closed loop: next request immediately
       return;      // one response per readable burst in practice

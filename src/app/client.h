@@ -15,6 +15,7 @@
 #include "app/host.h"
 #include "common/stats.h"
 #include "http/http.h"
+#include "obs/trace.h"
 
 namespace papm::app {
 
@@ -50,7 +51,13 @@ class WrkClient {
     rtt_.clear();
     completed_ = 0;
     http_errors_ = 0;
+    trace_.clear();
   }
+
+  // Record one rtt span per completed request (issue -> response parsed)
+  // on the client track of the exported trace.
+  void set_tracing(bool on) noexcept { tracing_ = on; }
+  [[nodiscard]] const obs::TraceLog& trace() const noexcept { return trace_; }
 
  private:
   struct ConnCtx {
@@ -72,7 +79,16 @@ class WrkClient {
   Stats rtt_;
   u64 completed_ = 0;
   u64 http_errors_ = 0;
+  u64 next_req_ = 1;  // trace request ids
   bool stopped_ = false;
+  bool tracing_ = false;
+  obs::TraceLog trace_;
+  // Cached registrations in the client host's shard-0 registry.
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_http_errors_ = nullptr;
+  obs::Counter* m_resp_parsed_ = nullptr;
+  obs::Counter* m_parse_err_ = nullptr;
+  obs::Histogram* m_rtt_ns_ = nullptr;
 };
 
 }  // namespace papm::app

@@ -35,6 +35,7 @@ RunResult run_experiment(const RunConfig& cfg) {
   scfg.knobs = cfg.knobs;
   scfg.lsm_wal = cfg.lsm_wal;
   scfg.pkt_opts = cfg.pkt_opts;
+  scfg.trace = cfg.trace;
   KvServer server(server_host, scfg);
 
   ClientConfig ccfg;
@@ -46,11 +47,16 @@ RunResult run_experiment(const RunConfig& cfg) {
   ccfg.zipf_theta = cfg.zipf_theta;
   ccfg.seed = cfg.seed;
   WrkClient client(client_host, ccfg);
+  client.set_tracing(cfg.trace);
 
   client.start();
   env.engine.run_until(cfg.warmup_ns);
   client.reset_stats();
   server.reset_stats();
+  // Warmup/measure boundary: zero every counter and span so the exported
+  // observability covers exactly the measurement window.
+  server_host.reset_obs();
+  client_host.reset_obs();
   const SimTime busy_before = server_host.cpu().busy_ns();
 
   env.engine.run_until(cfg.warmup_ns + cfg.measure_ns);
@@ -70,6 +76,24 @@ RunResult run_experiment(const RunConfig& cfg) {
       static_cast<double>(cfg.measure_ns * std::max(1, cfg.server_cores));
   r.server_errors = server.errors() + client.http_errors();
   r.retransmits_hint = fabric.dropped();
+
+  r.flush = server_host.pm_device().obs_epoch();
+  if (cfg.collect_metrics) {
+    // Server and client are distinct machines: report them as separate
+    // sections so same-named metrics (http.parse_errors) don't merge.
+    const obs::MetricRegistry sm = server_host.merged_metrics();
+    const obs::MetricRegistry cm = client_host.merged_metrics();
+    r.metrics_report =
+        "== server ==\n" + sm.report() + "== client ==\n" + cm.report();
+    r.metrics_json =
+        "{\"server\": " + sm.to_json() + ", \"client\": " + cm.to_json() + "}";
+  }
+  if (cfg.trace) {
+    obs::TraceLog merged = server_host.merged_trace();
+    merged.merge_from(client.trace());
+    r.attribution = obs::attribute(merged);
+    r.trace_json = obs::chrome_trace_json(merged);
+  }
   return r;
 }
 

@@ -38,6 +38,11 @@ struct RunConfig {
   nic::Fabric::Options fabric;
   nic::Nic::Options nic;
   u64 seed = 42;
+
+  // Observability. Both are measurement-window scoped (reset at the
+  // warmup boundary) and no-ops under PAPM_OBS=OFF.
+  bool collect_metrics = false;  // fill metrics_report / metrics_json
+  bool trace = false;            // per-request spans -> attribution + JSON
 };
 
 struct RunResult {
@@ -48,6 +53,13 @@ struct RunResult {
   double server_cpu_util = 0.0;        // busy fraction of the server core
   u64 server_errors = 0;
   u64 retransmits_hint = 0;  // fabric drops (loss experiments)
+
+  // Observability results (populated per the RunConfig flags).
+  obs::Attribution attribution{};       // per-stage means over the window
+  pm::PmDevice::FlushEpoch flush{};     // clwb/sfence totals for the window
+  std::string metrics_report;           // human table: server + client
+  std::string metrics_json;             // {"server": {...}, "client": {...}}
+  std::string trace_json;               // Chrome trace_events (Perfetto)
 
   [[nodiscard]] double mean_rtt_us() const { return rtt.mean() / 1000.0; }
   [[nodiscard]] double p99_rtt_us() const {

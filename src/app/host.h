@@ -19,6 +19,8 @@
 #include "net/tcp.h"
 #include "net/udp.h"
 #include "nic/nic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/cpu.h"
 
 namespace papm::app {
@@ -47,10 +49,14 @@ class Host {
     const u32 nshards =
         cfg.rx_queues != 0 ? cfg.rx_queues
                            : static_cast<u32>(std::max(1, cfg.cores));
-    for (u32 i = 0; i < nshards; i++) shards_.emplace_back();
+    for (u32 i = 0; i < nshards; i++) {
+      shards_.emplace_back();
+      shards_.back().trace.set_track(i);
+    }
 
     if (cfg.pm_backed) {
       pm_dev_.emplace(env, cfg.pm_size);
+      pm_dev_->set_metrics(&host_metrics_);
       // Carve the device's data area into per-shard pool spans.
       const u64 base = pm_dev_->data_base();
       const u64 span =
@@ -78,6 +84,10 @@ class Host {
     }
     nic_.emplace(env, fabric, cfg.ip, *shards_[0].pool, cfg.nic);
     for (u32 i = 1; i < nshards; i++) nic_->add_queue(*shards_[i].pool);
+    nic_->set_metrics(&host_metrics_);
+    for (u32 i = 0; i < nshards; i++) {
+      nic_->set_queue_metrics(i, &shards_[i].metrics);
+    }
 
     for (u32 i = 0; i < nshards; i++) {
       net::TcpStack::Options so;
@@ -92,6 +102,7 @@ class Host {
       // single-queue datapath keeps the classic earliest-free scheduling
       // (bit-identical to the paper-configuration experiments).
       so.core = nshards > 1 ? static_cast<int>(i) : -1;
+      so.metrics = &shards_[i].metrics;
       shards_[i].stack.emplace(env, *nic_, *shards_[i].pool, so);
       shards_[i].stack->attach_cpu(cpu_);
     }
@@ -137,6 +148,43 @@ class Host {
   [[nodiscard]] bool pm_backed() const noexcept { return pm_dev_.has_value(); }
   [[nodiscard]] pm::PmDevice& pm_device() { return *pm_dev_; }
 
+  // --- Observability ----------------------------------------------------
+  // Shared-nothing like the datapath: one registry + trace log per shard,
+  // plus a host-level registry for shard-less subsystems (the PM device,
+  // NIC drop counters). Merge at report time only.
+  [[nodiscard]] obs::MetricRegistry& metrics(u32 shard = 0) noexcept {
+    return shards_[shard].metrics;
+  }
+  [[nodiscard]] obs::MetricRegistry& host_metrics() noexcept {
+    return host_metrics_;
+  }
+  [[nodiscard]] obs::TraceLog& trace(u32 shard = 0) noexcept {
+    return shards_[shard].trace;
+  }
+  // Report-time views: a fresh registry/log holding the merge of the
+  // host-level registry and every shard.
+  [[nodiscard]] obs::MetricRegistry merged_metrics() const {
+    obs::MetricRegistry m;
+    m.merge_from(host_metrics_);
+    for (const auto& sh : shards_) m.merge_from(sh.metrics);
+    return m;
+  }
+  [[nodiscard]] obs::TraceLog merged_trace() const {
+    obs::TraceLog t;
+    for (const auto& sh : shards_) t.merge_from(sh.trace);
+    return t;
+  }
+  // Warmup/measure boundary: zero every value, keep registrations (and
+  // the pointers subsystems cached) valid; drop recorded spans.
+  void reset_obs() noexcept {
+    host_metrics_.reset_values();
+    for (auto& sh : shards_) {
+      sh.metrics.reset_values();
+      sh.trace.clear();
+    }
+    if (pm_dev_.has_value()) pm_dev_->obs_begin_epoch();
+  }
+
  private:
   struct Shard {
     std::optional<pm::PmPool> pm_pool;
@@ -145,10 +193,13 @@ class Host {
     net::BufArena* arena = nullptr;
     std::optional<net::PktBufPool> pool;
     std::optional<net::TcpStack> stack;
+    obs::MetricRegistry metrics;
+    obs::TraceLog trace;
   };
 
   sim::Env& env_;
   sim::HostCpu cpu_;
+  obs::MetricRegistry host_metrics_;
   std::optional<pm::PmDevice> pm_dev_;
   std::deque<Shard> shards_;  // deque: Shard is pinned (non-movable)
   std::optional<nic::Nic> nic_;

@@ -115,6 +115,13 @@ KvServer::KvServer(Host& host, const ServerConfig& cfg)
                                              cfg.pkt_opts);
         break;
     }
+    obs::MetricRegistry& reg = host_.metrics(i);
+    sh.m_requests = &reg.counter("server.requests");
+    sh.m_errors = &reg.counter("server.errors");
+    sh.m_parsed = &reg.counter("http.requests_parsed");
+    sh.m_req_ns = &reg.histogram("server.req_ns");
+    if (sh.lsm.has_value()) sh.lsm->set_metrics(&reg);
+    if (sh.pktstore.has_value()) sh.pktstore->set_metrics(&reg);
     const Status st = host_.stack(i).listen(
         cfg.port, [this, i](net::TcpConn& c) { on_accept(c, i); });
     if (!st.ok()) throw std::runtime_error("KvServer: listen failed");
@@ -142,9 +149,13 @@ bool KvServer::try_parse_head(ConnState& st) {
   const std::string_view view(reinterpret_cast<const char*>(payload.data()),
                               payload.size());
   auto& env = host_.env();
+  const SimTime t0 = env.now();
   env.clock().advance(env.cost.scaled(env.cost.server_http_parse_ns));
   const auto head = parse_head_inplace(view);
   if (!head.has_value()) return false;
+  st.parse_ts = t0;
+  st.parse_dur = env.now() - t0;
+  obs::inc(shards_[st.shard].m_parsed);
   st.head_parsed = true;
   st.method = head->method;
   st.key = std::string(head->key);
@@ -159,6 +170,7 @@ void KvServer::on_readable(net::TcpConn& conn) {
   ConnState& st = it->second;
 
   for (net::PktBuf* pb : conn.read_pkts()) {
+    if (st.pkts.empty()) st.rx_start = pb->tstamp;  // NIC ingress stamp
     st.have_bytes += pb->payload_len();
     st.pkts.push_back(pb);
   }
@@ -190,6 +202,19 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
   int status = 200;
   std::vector<u8> resp_body;
   Shard* zero_copy_shard = nullptr;
+
+  // One Table-1 row per request: rx covers NIC ingress of the first
+  // segment up to the head parse (TCP delivery, checksum verify, wakeup);
+  // parse is the head-parse window recorded by try_parse_head.
+  obs::TraceContext tr(env, cfg_.trace ? &host_.trace(st.shard) : nullptr,
+                       next_req_++);
+  if (tr.active()) {
+    if (st.rx_start != 0 && st.parse_ts >= st.rx_start) {
+      tr.record(obs::Stage::rx, st.rx_start, st.parse_ts - st.rx_start);
+    }
+    tr.record(obs::Stage::parse, st.parse_ts, st.parse_dur);
+  }
+  const SimTime t_backend = env.now();
 
   switch (cfg_.backend) {
     case Backend::discard:
@@ -254,6 +279,7 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
         if (!s.ok()) {
           status = 507;
           errors_++;
+          obs::inc(sh.m_errors);
         } else {
           status = 201;
         }
@@ -317,6 +343,7 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
         if (!s.ok()) {
           status = 507;
           errors_++;
+          obs::inc(sh.m_errors);
         } else {
           status = 201;
         }
@@ -338,12 +365,37 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
     }
   }
 
-  if (zero_copy_shard != nullptr) {
-    respond_value_zero_copy(conn, *zero_copy_shard, st.key);
-  } else {
-    respond(conn, status, resp_body);
+  // Stitch the backend's OpBreakdown into contiguous stage spans laid out
+  // from the backend-call start: the breakdown is a set of durations whose
+  // sum never exceeds the elapsed backend time, so the stitched spans stay
+  // inside [t_backend, now). prep lands on the parse stage (request
+  // preparation — memtable key setup, WAL record framing).
+  if (tr.active() && bdp != nullptr) {
+    SimTime at = t_backend;
+    const auto emit = [&](obs::Stage s, SimTime d) {
+      if (d != 0) {
+        tr.record(s, at, d);
+        at += d;
+      }
+    };
+    emit(obs::Stage::parse, bd.prep_ns);
+    emit(obs::Stage::checksum, bd.checksum_ns);
+    emit(obs::Stage::copy, bd.copy_ns);
+    emit(obs::Stage::alloc_index, bd.alloc_insert_ns);
+    emit(obs::Stage::persist, bd.persist_ns);
+  }
+
+  {
+    auto tx_span = tr.span(obs::Stage::tx);
+    if (zero_copy_shard != nullptr) {
+      respond_value_zero_copy(conn, *zero_copy_shard, st.key);
+    } else {
+      respond(conn, status, resp_body);
+    }
   }
   ops_++;
+  obs::inc(sh.m_requests);
+  if (st.rx_start != 0) obs::observe(sh.m_req_ns, env.now() - st.rx_start);
   if (bdp != nullptr) {
     breakdown_sum_ += bd;
     breakdown_ops_++;
@@ -426,6 +478,7 @@ void KvServer::respond_value_zero_copy(net::TcpConn& conn, Shard& sh,
     if (!conn.send_pkt(pb).ok()) {
       // Window full; closed-loop benches never hit this.
       errors_++;
+      obs::inc(sh.m_errors);
     }
   }
 }

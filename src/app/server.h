@@ -34,6 +34,7 @@
 #include "app/host.h"
 #include "core/pktstore.h"
 #include "http/http.h"
+#include "obs/trace.h"
 #include "storage/lsm_store.h"
 
 namespace papm::app {
@@ -57,6 +58,10 @@ struct ServerConfig {
   bool lsm_wal = false;                      // lsm backend
   core::PktStoreOptions pkt_opts;            // pktstore backend
   bool collect_breakdown = true;
+  // Record per-request stage spans into the host's per-shard TraceLogs
+  // (rx/parse/checksum/copy/alloc+index/persist/tx). Requires
+  // collect_breakdown for the data-management stages.
+  bool trace = false;
 };
 
 class KvServer {
@@ -90,6 +95,11 @@ class KvServer {
     // raw_persist bump region (recycled; models the Fig.2 simple app).
     u64 raw_region = 0;
     u64 raw_off = 0;
+    // Cached registrations in the shard's MetricRegistry.
+    obs::Counter* m_requests = nullptr;
+    obs::Counter* m_errors = nullptr;
+    obs::Counter* m_parsed = nullptr;
+    obs::Histogram* m_req_ns = nullptr;
   };
   static constexpr u64 kRawRegion = 4u << 20;
 
@@ -106,6 +116,11 @@ class KvServer {
     std::string key;
     std::size_t head_len = 0;   // bytes before the body, within payload
     std::size_t body_len = 0;   // Content-Length
+    // Trace bookkeeping: NIC ingress of the first segment, and the
+    // head-parse window (the rx span ends where the parse span begins).
+    SimTime rx_start = 0;
+    SimTime parse_ts = 0;
+    SimTime parse_dur = 0;
   };
 
   void on_accept(net::TcpConn& conn, u32 shard);
@@ -127,6 +142,7 @@ class KvServer {
   std::unordered_map<net::TcpConn*, ConnState> conns_;
   u64 ops_ = 0;
   u64 errors_ = 0;
+  u64 next_req_ = 1;  // trace request ids (monotonic across shards)
   storage::OpBreakdown breakdown_sum_{};
   u64 breakdown_ops_ = 0;
 };

@@ -27,10 +27,18 @@ class Stats {
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
 
-  // p in [0, 100]; nearest-rank method.
+  // Nearest-rank percentile: the smallest sample whose cumulative
+  // frequency covers p% of the distribution. p is clamped to [0, 100];
+  // p <= 0 returns the minimum, empty returns 0, a single sample is
+  // returned for every p. Always an actual sample — never interpolated.
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double median() const { return percentile(50.0); }
   [[nodiscard]] double stddev() const;
+
+  // ASCII sketch of the sample distribution: `buckets` equal-width rows
+  // between min and max, each "lo..hi | #### count". Empty stats yield
+  // "(no samples)". For quick eyeballing in bench output.
+  [[nodiscard]] std::string hist(int buckets = 10, int width = 40) const;
 
   void clear() {
     samples_.clear();

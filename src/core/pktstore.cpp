@@ -62,6 +62,7 @@ Status PktStore::put_pkts(std::string_view key,
                           std::span<net::PktBuf* const> pkts,
                           std::span<const u32> offs, std::span<const u32> lens,
                           storage::OpBreakdown* bd) {
+  obs::inc(m_puts_);
   charge_prep(bd);
   auto head = chain_.ingest_pkts(pkts, offs, lens, ingest_opts(), bd);
   if (!head.ok()) return head.errc();
@@ -81,6 +82,7 @@ Status PktStore::put_pkts(std::string_view key,
 
 Status PktStore::put_bytes(std::string_view key, std::span<const u8> value,
                            storage::OpBreakdown* bd) {
+  obs::inc(m_puts_);
   charge_prep(bd);
   auto head = chain_.ingest_bytes(value, ingest_opts(), bd);
   if (!head.ok()) return head.errc();
@@ -99,6 +101,7 @@ Status PktStore::put_bytes(std::string_view key, std::span<const u8> value,
 }
 
 Result<std::vector<u8>> PktStore::get(std::string_view key) const {
+  obs::inc(m_gets_);
   const auto head = index_.get(key);
   if (!head.ok()) return head.errc();
   const Status st = chain_.verify(head.value());
@@ -108,6 +111,7 @@ Result<std::vector<u8>> PktStore::get(std::string_view key) const {
 
 Result<std::vector<net::PktBuf*>> PktStore::get_as_pkts(
     std::string_view key) const {
+  obs::inc(m_gets_);
   const auto head = index_.get(key);
   if (!head.ok()) return head.errc();
   return chain_.emit_pkts(head.value());
@@ -137,6 +141,7 @@ Status PktStore::verify(std::string_view key) const {
 }
 
 bool PktStore::erase(std::string_view key) {
+  obs::inc(m_erases_);
   const auto head = index_.get(key);
   if (!head.ok()) return false;
   if (!index_.erase(key)) return false;

@@ -25,6 +25,7 @@
 
 #include "container/pskiplist.h"
 #include "core/ppktmeta.h"
+#include "obs/metrics.h"
 
 namespace papm::core {
 
@@ -103,6 +104,14 @@ class PktStore {
   // batching effect the baseline enjoys; keeps comparisons fair).
   void set_batched(bool b) noexcept { index_.set_warm(b); }
 
+  // Mirrors op counts into a (per-shard) registry: store.puts /
+  // store.gets / store.erases.
+  void set_metrics(obs::MetricRegistry* r) {
+    m_puts_ = r != nullptr ? &r->counter("store.puts") : nullptr;
+    m_gets_ = r != nullptr ? &r->counter("store.gets") : nullptr;
+    m_erases_ = r != nullptr ? &r->counter("store.erases") : nullptr;
+  }
+
  private:
   PktStore(net::PktBufPool& pktpool, net::PmArena& arena,
            container::PSkipList index, PktStoreOptions opts)
@@ -120,6 +129,9 @@ class PktStore {
   mutable PChain chain_;
   container::PSkipList index_;
   PktStoreOptions opts_;
+  obs::Counter* m_puts_ = nullptr;
+  obs::Counter* m_gets_ = nullptr;
+  obs::Counter* m_erases_ = nullptr;
 };
 
 }  // namespace papm::core

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace papm::http {
 
@@ -61,11 +62,20 @@ class RequestParser {
   // Bytes buffered but not yet part of a complete request.
   [[nodiscard]] std::size_t pending() const noexcept { return buf_.size(); }
 
+  // Mirrors completed parses / parse failures into registry counters
+  // (http.requests_parsed / http.parse_errors by convention).
+  void set_metrics(obs::Counter* parsed, obs::Counter* errors) noexcept {
+    m_parsed_ = parsed;
+    m_errors_ = errors;
+  }
+
  private:
   std::optional<Request> try_parse();
 
   std::vector<u8> buf_;
   bool failed_ = false;
+  obs::Counter* m_parsed_ = nullptr;
+  obs::Counter* m_errors_ = nullptr;
 };
 
 // Incremental response parser (client side).
@@ -74,11 +84,19 @@ class ResponseParser {
   std::optional<Response> feed(std::span<const u8> data);
   [[nodiscard]] bool failed() const noexcept { return failed_; }
 
+  // Counters by convention: http.responses_parsed / http.parse_errors.
+  void set_metrics(obs::Counter* parsed, obs::Counter* errors) noexcept {
+    m_parsed_ = parsed;
+    m_errors_ = errors;
+  }
+
  private:
   std::optional<Response> try_parse();
 
   std::vector<u8> buf_;
   bool failed_ = false;
+  obs::Counter* m_parsed_ = nullptr;
+  obs::Counter* m_errors_ = nullptr;
 };
 
 }  // namespace papm::http

@@ -29,6 +29,7 @@ u8* HeapArena::data(u64 handle, u64 len) {
 // --- PktBufPool --------------------------------------------------------------
 
 PktBuf* PktBufPool::alloc(u32 data_cap) {
+  if (meta_limit_ != 0 && live_meta_ >= meta_limit_) return nullptr;
   auto dh = arena_->alloc(data_cap);
   if (!dh.ok()) return nullptr;
 
@@ -53,6 +54,7 @@ PktBuf* PktBufPool::alloc(u32 data_cap) {
 
 PktBuf* PktBufPool::clone(const PktBuf& pb) {
   assert(pb.in_use);
+  if (meta_limit_ != 0 && live_meta_ >= meta_limit_) return nullptr;
   env_->clock().advance(env_->cost.pool_alloc_ns);  // metadata-only alloc
   PktBuf* c;
   if (!free_meta_.empty()) {

@@ -179,13 +179,22 @@ class PktBufPool {
   PktBufPool& operator=(const PktBufPool&) = delete;
 
   // Allocates metadata plus a linear buffer of `data_cap` bytes.
-  // Returns nullptr when the arena is exhausted.
+  // Returns nullptr when the arena is exhausted or the metadata pool is
+  // at its configured limit.
   [[nodiscard]] PktBuf* alloc(u32 data_cap);
 
   // Kernel-style clone: new metadata sharing the same (refcounted) data.
   // The TCP retransmission queue holds clones so lower layers may release
-  // their metadata while the data stays intact (paper §4.1).
+  // their metadata while the data stays intact (paper §4.1). Returns
+  // nullptr when the metadata pool is at its configured limit.
   [[nodiscard]] PktBuf* clone(const PktBuf& pb);
+
+  // Caps live metadata at `n` descriptors (0 = unlimited, the default).
+  // Models a real driver's fixed descriptor pool: at the cap, alloc() and
+  // clone() fail (nullptr) instead of growing the slab — best-effort
+  // consumers like PktTap drop their capture rather than stall RX.
+  void set_meta_limit(std::size_t n) noexcept { meta_limit_ = n; }
+  [[nodiscard]] std::size_t meta_limit() const noexcept { return meta_limit_; }
 
   // Releases metadata; the linear buffer and frags are freed when their
   // last reference (clone or adopted handle) drops. Must be called on the
@@ -243,6 +252,7 @@ class PktBufPool {
   std::vector<PktBuf*> free_meta_;
   std::unordered_map<u64, u32> data_refs_;
   std::size_t live_meta_ = 0;
+  std::size_t meta_limit_ = 0;  // 0 = unlimited
 };
 
 }  // namespace papm::net

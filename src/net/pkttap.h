@@ -14,6 +14,7 @@
 #include <functional>
 
 #include "net/pktbuf.h"
+#include "obs/metrics.h"
 
 namespace papm::net {
 
@@ -34,16 +35,25 @@ class PktTap {
 
   // Observes a packet on its way to `next`: clones it into the capture
   // ring (evicting the oldest beyond capacity) and passes the original
-  // through untouched.
+  // through untouched. Capture is best-effort: when the pool's metadata
+  // limit leaves no descriptor for the clone, the capture is dropped
+  // (counted) and the original still flows — a tap must never stall RX.
   void tap(PktBuf* pb, const std::function<void(PktBuf*)>& next) {
     if (enabled_) {
       PktBuf* c = pool_->clone(*pb);
-      ring_.push_back({c, pool_->env().now()});
-      captured_++;
-      if (ring_.size() > capacity_) {
-        pool_->free(ring_.front().clone);
-        ring_.pop_front();
-        evicted_++;
+      if (c == nullptr) {
+        dropped_++;
+        obs::inc(m_dropped_);
+      } else {
+        ring_.push_back({c, pool_->env().now()});
+        captured_++;
+        obs::inc(m_captured_);
+        if (ring_.size() > capacity_) {
+          pool_->free(ring_.front().clone);
+          ring_.pop_front();
+          evicted_++;
+          obs::inc(m_evicted_);
+        }
       }
     }
     next(pb);
@@ -62,7 +72,16 @@ class PktTap {
   [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
   [[nodiscard]] u64 captured() const noexcept { return captured_; }
   [[nodiscard]] u64 evicted() const noexcept { return evicted_; }
+  [[nodiscard]] u64 dropped() const noexcept { return dropped_; }
   [[nodiscard]] PktBufPool& pool() noexcept { return *pool_; }
+
+  // Mirrors capture activity into registry counters: tap.captured /
+  // tap.evicted / tap.dropped.
+  void set_metrics(obs::MetricRegistry* r) {
+    m_captured_ = r != nullptr ? &r->counter("tap.captured") : nullptr;
+    m_evicted_ = r != nullptr ? &r->counter("tap.evicted") : nullptr;
+    m_dropped_ = r != nullptr ? &r->counter("tap.dropped") : nullptr;
+  }
 
   void clear() {
     for (auto& c : ring_) pool_->free(c.clone);
@@ -76,6 +95,10 @@ class PktTap {
   bool enabled_ = true;
   u64 captured_ = 0;
   u64 evicted_ = 0;
+  u64 dropped_ = 0;
+  obs::Counter* m_captured_ = nullptr;
+  obs::Counter* m_evicted_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
 };
 
 }  // namespace papm::net

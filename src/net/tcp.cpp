@@ -40,7 +40,14 @@ TcpStack::TcpStack(sim::Env& env, NetIf& netif, PktBufPool& pool, Options opts)
       opts_(opts),
       own_cpu_(env, /*cores=*/0),
       cpu_(&own_cpu_),
-      next_ephemeral_(opts.ephemeral_base) {}
+      next_ephemeral_(opts.ephemeral_base) {
+  if (opts_.metrics != nullptr) {
+    m_seg_rx_ = &opts_.metrics->counter("tcp.segments_rx");
+    m_seg_tx_ = &opts_.metrics->counter("tcp.segments_tx");
+    m_csum_fail_ = &opts_.metrics->counter("tcp.csum_failures");
+    m_rtx_ = &opts_.metrics->counter("tcp.retransmits");
+  }
+}
 
 void TcpStack::charge_rx(bool pure_ack) {
   const auto& c = env_.cost;
@@ -92,6 +99,7 @@ void TcpStack::rx(PktBuf* pb) {
 
 void TcpStack::rx_locked(PktBuf* pb) {
   segments_rx_++;
+  obs::inc(m_seg_rx_);
 
   // Software checksum verification when the NIC did not already do it.
   if (!pb->csum_verified) {
@@ -101,6 +109,7 @@ void TcpStack::rx_locked(PktBuf* pb) {
     const u32 sum = tcp_pseudo_sum(pb->ip.src, pb->ip.dst, tcp_seg.size());
     if (inet_fold(sum + inet_sum(tcp_seg)) != 0xffff) {
       csum_failures_++;
+      obs::inc(m_csum_fail_);
       pool_.free(pb);
       return;
     }
@@ -214,6 +223,7 @@ void TcpStack::output_pkt(TcpConn& c, PktBuf* pb, u8 flags, u32 seq, u32 ack,
 
   c.ack_pending_ = false;  // every segment carries the current ack
   segments_tx_++;
+  obs::inc(m_seg_tx_);
   netif_.transmit(pb);
 }
 
@@ -372,6 +382,7 @@ void TcpConn::process_ack(const TcpHeader& h) {
       ssthresh_ = std::max(inflight / 2, static_cast<u32>(2 * kMss));
       cwnd_ = ssthresh_ + 3 * kMss;
       retransmits_++;
+      obs::inc(stack_.m_rtx_);
       e.retransmitted = true;
       e.sent_at = stack_.env().now();
       PktBuf* copy = e.clone->owner->clone(*e.clone);
@@ -644,6 +655,7 @@ void TcpConn::on_rto() {
   if (rtx_q_.empty() || state_ == TcpState::closed) return;
   RtxEntry& e = rtx_q_.front();
   retransmits_++;
+  obs::inc(stack_.m_rtx_);
   e.retransmitted = true;
   e.sent_at = stack_.env().now();
   // Timeout: collapse the window, back off the timer (RFC 6298 5.5).

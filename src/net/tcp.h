@@ -26,6 +26,7 @@
 #include "container/rbtree.h"
 #include "net/headers.h"
 #include "net/pktbuf.h"
+#include "obs/metrics.h"
 #include "sim/cpu.h"
 
 namespace papm::net {
@@ -214,6 +215,10 @@ class TcpStack {
     // timers, TX) to one HostCpu core — the core busy-polling the NIC
     // queue this stack serves. -1 = classic earliest-free scheduling.
     int core = -1;
+    // Mirrors segment/checksum/retransmit counters into a (per-shard)
+    // registry: tcp.segments_rx / tcp.segments_tx / tcp.csum_failures /
+    // tcp.retransmits. Null = the plain member counters only.
+    obs::MetricRegistry* metrics = nullptr;
   };
 
   TcpStack(sim::Env& env, NetIf& netif, PktBufPool& pool, Options opts);
@@ -296,6 +301,11 @@ class TcpStack {
   u64 segments_rx_ = 0;
   u64 segments_tx_ = 0;
   u64 csum_failures_ = 0;
+
+  obs::Counter* m_seg_rx_ = nullptr;
+  obs::Counter* m_seg_tx_ = nullptr;
+  obs::Counter* m_csum_fail_ = nullptr;
+  obs::Counter* m_rtx_ = nullptr;
 };
 
 }  // namespace papm::net

@@ -71,6 +71,7 @@ void Nic::transmit(net::PktBuf* pb) {
   env_.clock().advance(env_.cost.scaled(env_.cost.nic_tx_ns));
   const u32 txq = std::min<u32>(pb->rss_queue, num_queues() - 1);
   queues_[txq].tx_frames++;
+  obs::inc(queues_[txq].m_tx_frames);
 
   // Resolve data through the packet's owning pool: a cross-shard
   // zero-copy response carries buffers of another core's arena.
@@ -131,12 +132,14 @@ void Nic::on_frame(WireFrame frame) {
   const auto eth = net::decode_eth(bytes);
   if (!eth || eth->ethertype != net::kEtherTypeIpv4) {
     rx_drops_++;
+    obs::inc(m_rx_drops_);
     return;
   }
   const auto ip = net::decode_ip(bytes.subspan(kEthHdrLen));
   if (!ip || (ip->protocol != net::kIpProtoTcp &&
               ip->protocol != net::kIpProtoUdp)) {
     rx_drops_++;
+    obs::inc(m_rx_drops_);
     return;
   }
 
@@ -147,6 +150,7 @@ void Nic::on_frame(WireFrame frame) {
     const auto tcp = net::decode_tcp(bytes.subspan(kEthHdrLen + kIpHdrLen));
     if (!tcp) {
       rx_drops_++;
+      obs::inc(m_rx_drops_);
       return;
     }
     l4 = *tcp;
@@ -156,6 +160,7 @@ void Nic::on_frame(WireFrame frame) {
     const auto udp = net::decode_udp(bytes.subspan(kEthHdrLen + kIpHdrLen));
     if (!udp) {
       rx_drops_++;
+      obs::inc(m_rx_drops_);
       return;
     }
     l4.src_port = udp->src_port;
@@ -178,6 +183,7 @@ void Nic::on_frame(WireFrame frame) {
   net::PktBuf* pb = queue.pool->alloc(static_cast<u32>(frame.bytes.size()));
   if (pb == nullptr) {
     rx_drops_++;
+    obs::inc(m_rx_drops_);
     return;
   }
   std::memcpy(
@@ -207,6 +213,7 @@ void Nic::on_frame(WireFrame frame) {
         net::l4_pseudo_sum(ip->src, ip->dst, ip->protocol, l4_seg.size());
     if (inet_fold(full_sum + pseudo) != 0xffff) {
       rx_csum_errors_++;
+      obs::inc(m_rx_csum_err_);
       queue.pool->free(pb);
       return;
     }
@@ -221,6 +228,7 @@ void Nic::on_frame(WireFrame frame) {
 
   rx_frames_++;
   queue.rx_frames++;
+  obs::inc(queue.m_rx_frames);
   if (queue.sink) {
     queue.sink(pb);
   } else {

@@ -24,6 +24,7 @@
 #include "net/pktbuf.h"
 #include "net/tcp.h"
 #include "nic/fabric.h"
+#include "obs/metrics.h"
 
 namespace papm::nic {
 
@@ -76,6 +77,21 @@ class Nic final : public net::NetIf {
            static_cast<u32>(queues_.size());
   }
 
+  // Mirrors device-level drop/error counters into a (host) registry:
+  // nic.rx_drops / nic.rx_csum_errors. Null = member counters only.
+  void set_metrics(obs::MetricRegistry* r) {
+    m_rx_drops_ = r != nullptr ? &r->counter("nic.rx_drops") : nullptr;
+    m_rx_csum_err_ = r != nullptr ? &r->counter("nic.rx_csum_errors") : nullptr;
+  }
+  // Mirrors one queue's frame counters into that queue's shard registry
+  // as nic.rx_frames / nic.tx_frames (per-shard instances merge to the
+  // device totals at report time).
+  void set_queue_metrics(u32 queue, obs::MetricRegistry* r) {
+    Queue& q = queues_.at(queue);
+    q.m_rx_frames = r != nullptr ? &r->counter("nic.rx_frames") : nullptr;
+    q.m_tx_frames = r != nullptr ? &r->counter("nic.tx_frames") : nullptr;
+  }
+
   // Stats.
   [[nodiscard]] u64 tx_frames() const noexcept { return tx_frames_; }
   [[nodiscard]] u64 rx_frames() const noexcept { return rx_frames_; }
@@ -94,6 +110,8 @@ class Nic final : public net::NetIf {
     std::function<void(net::PktBuf*)> sink;
     u64 rx_frames = 0;
     u64 tx_frames = 0;
+    obs::Counter* m_rx_frames = nullptr;
+    obs::Counter* m_tx_frames = nullptr;
   };
 
   void on_frame(WireFrame frame);
@@ -110,6 +128,8 @@ class Nic final : public net::NetIf {
   u64 rx_frames_ = 0;
   u64 rx_drops_ = 0;
   u64 rx_csum_errors_ = 0;
+  obs::Counter* m_rx_drops_ = nullptr;
+  obs::Counter* m_rx_csum_err_ = nullptr;
 };
 
 }  // namespace papm::nic

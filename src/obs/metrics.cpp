@@ -1,0 +1,132 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace papm::obs {
+
+u64 Histogram::quantile_upper(double q) const noexcept {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest rank within the cumulative bucket counts.
+  u64 rank = static_cast<u64>(q * static_cast<double>(count_));
+  if (rank == 0) rank = 1;
+  u64 cum = 0;
+  for (int i = 0; i < kBuckets; i++) {
+    cum += buckets_[i];
+    if (cum >= rank) return bucket_upper(i);
+  }
+  return bucket_upper(kBuckets - 1);
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  auto it = counter_idx_.find(std::string(name));
+  if (it != counter_idx_.end()) return counters_[it->second];
+  counters_.emplace_back();
+  counter_idx_.emplace(std::string(name), counters_.size() - 1);
+  return counters_.back();
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  auto it = gauge_idx_.find(std::string(name));
+  if (it != gauge_idx_.end()) return gauges_[it->second];
+  gauges_.emplace_back();
+  gauge_idx_.emplace(std::string(name), gauges_.size() - 1);
+  return gauges_.back();
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  auto it = hist_idx_.find(std::string(name));
+  if (it != hist_idx_.end()) return hists_[it->second];
+  hists_.emplace_back();
+  hist_idx_.emplace(std::string(name), hists_.size() - 1);
+  return hists_.back();
+}
+
+void MetricRegistry::merge_from(const MetricRegistry& o) {
+  for (const auto& [name, idx] : o.counter_idx_) {
+    counter(name).merge_from(o.counters_[idx]);
+  }
+  for (const auto& [name, idx] : o.gauge_idx_) {
+    gauge(name).merge_from(o.gauges_[idx]);
+  }
+  for (const auto& [name, idx] : o.hist_idx_) {
+    histogram(name).merge_from(o.hists_[idx]);
+  }
+}
+
+void MetricRegistry::reset_values() noexcept {
+  for (auto& c : counters_) c.reset();
+  for (auto& g : gauges_) g.reset();
+  for (auto& h : hists_) h.reset();
+}
+
+std::vector<std::string> MetricRegistry::sorted_names(
+    const std::unordered_map<std::string, std::size_t>& idx) {
+  std::vector<std::string> names;
+  names.reserve(idx.size());
+  for (const auto& [n, _] : idx) names.push_back(n);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string MetricRegistry::report() const {
+  std::string out;
+  char buf[160];
+  each_counter([&](const std::string& n, const Counter& c) {
+    std::snprintf(buf, sizeof buf, "%-28s %14llu\n", n.c_str(),
+                  static_cast<unsigned long long>(c.value()));
+    out += buf;
+  });
+  each_gauge([&](const std::string& n, const Gauge& g) {
+    std::snprintf(buf, sizeof buf, "%-28s %14llu  (high-water)\n", n.c_str(),
+                  static_cast<unsigned long long>(g.value()));
+    out += buf;
+  });
+  each_histogram([&](const std::string& n, const Histogram& h) {
+    std::snprintf(buf, sizeof buf,
+                  "%-28s n=%-10llu mean=%-12.1f p50<=%-10llu p99<=%llu\n",
+                  n.c_str(), static_cast<unsigned long long>(h.count()),
+                  h.mean(),
+                  static_cast<unsigned long long>(h.quantile_upper(0.50)),
+                  static_cast<unsigned long long>(h.quantile_upper(0.99)));
+    out += buf;
+  });
+  return out;
+}
+
+std::string MetricRegistry::to_json() const {
+  std::string out = "{\"counters\": {";
+  char buf[160];
+  bool first = true;
+  each_counter([&](const std::string& n, const Counter& c) {
+    std::snprintf(buf, sizeof buf, "%s\"%s\": %llu", first ? "" : ", ",
+                  n.c_str(), static_cast<unsigned long long>(c.value()));
+    out += buf;
+    first = false;
+  });
+  out += "}, \"gauges\": {";
+  first = true;
+  each_gauge([&](const std::string& n, const Gauge& g) {
+    std::snprintf(buf, sizeof buf, "%s\"%s\": %llu", first ? "" : ", ",
+                  n.c_str(), static_cast<unsigned long long>(g.value()));
+    out += buf;
+    first = false;
+  });
+  out += "}, \"histograms\": {";
+  first = true;
+  each_histogram([&](const std::string& n, const Histogram& h) {
+    std::snprintf(buf, sizeof buf,
+                  "%s\"%s\": {\"count\": %llu, \"sum\": %llu, \"mean\": %.6f}",
+                  first ? "" : ", ", n.c_str(),
+                  static_cast<unsigned long long>(h.count()),
+                  static_cast<unsigned long long>(h.sum()), h.mean());
+    out += buf;
+    first = false;
+  });
+  out += "}}";
+  return out;
+}
+
+}  // namespace papm::obs

@@ -1,0 +1,82 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+namespace papm::obs {
+
+double Attribution::server_sum_ns() const noexcept {
+  double sum = 0;
+  for (int i = 0; i < kStages; i++) {
+    if (static_cast<Stage>(i) == Stage::rtt) continue;
+    sum += requests == 0 ? 0.0
+                         : static_cast<double>(total_ns[i]) /
+                               static_cast<double>(requests);
+  }
+  return sum;
+}
+
+Attribution attribute(const TraceLog& log) {
+  Attribution a;
+  std::unordered_set<u64> reqs;
+  for (const SpanEvent& e : log.events()) {
+    a.total_ns[static_cast<int>(e.stage)] += e.dur;
+    a.spans[static_cast<int>(e.stage)]++;
+    if (e.stage != Stage::rtt) reqs.insert(e.req);
+  }
+  a.requests = reqs.size();
+  return a;
+}
+
+std::string chrome_trace_json(const TraceLog& log) {
+  // Stable output: sort by (ts, track, stage) so identical runs export
+  // byte-identical traces.
+  std::vector<SpanEvent> evs = log.events();
+  std::sort(evs.begin(), evs.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.track != b.track) return a.track < b.track;
+    return static_cast<int>(a.stage) < static_cast<int>(b.stage);
+  });
+
+  std::string out = "{\"traceEvents\": [";
+  char buf[256];
+  bool first = true;
+
+  // Thread-name metadata so Perfetto labels the tracks.
+  std::vector<u32> tracks;
+  for (const SpanEvent& e : evs) {
+    if (std::find(tracks.begin(), tracks.end(), e.track) == tracks.end()) {
+      tracks.push_back(e.track);
+    }
+  }
+  std::sort(tracks.begin(), tracks.end());
+  for (u32 t : tracks) {
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+                  "\"tid\": %u, \"args\": {\"name\": \"%s%u\"}}",
+                  first ? "" : ", ", t, t == kClientTrack ? "client" : "shard",
+                  t == kClientTrack ? 0 : t);
+    out += buf;
+    first = false;
+  }
+
+  for (const SpanEvent& e : evs) {
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"name\": \"%.*s\", \"ph\": \"X\", \"pid\": 1, "
+                  "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, "
+                  "\"args\": {\"req\": %llu}}",
+                  first ? "" : ", ",
+                  static_cast<int>(to_string(e.stage).size()),
+                  to_string(e.stage).data(), e.track,
+                  static_cast<double>(e.ts) / 1000.0,
+                  static_cast<double>(e.dur) / 1000.0,
+                  static_cast<unsigned long long>(e.req));
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace papm::obs

@@ -1,0 +1,186 @@
+// Request-scoped tracing: every completed request yields a Table-1 row.
+//
+// A TraceContext is carried with the request (the server creates one per
+// assembled request; the client one per issued request) and records
+// enter/exit timestamps for the canonical datapath stages. Spans land in
+// a per-shard TraceLog (append-only, shared-nothing like the metric
+// registries) and are merged only at export time. Exporters:
+//
+//   * attribute()          — per-stage totals/means: the attribution table;
+//   * chrome_trace_json()  — Chrome trace_events JSON, loadable in
+//                            chrome://tracing and Perfetto (one thread
+//                            track per shard, "X" complete events).
+//
+// With PAPM_OBS=OFF every span call is constexpr-dead, like the metric
+// hooks — tracing cannot perturb the default bench numbers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/env.h"
+
+namespace papm::obs {
+
+// Canonical stages of one request through the stack — the rows of the
+// paper's Table 1 as seen by the server. `rx`/`tx` are the server-side
+// networking halves; parse covers HTTP parse + request preparation;
+// the middle four are the data-management + persistence split.
+enum class Stage : u8 {
+  rx = 0,
+  parse,
+  checksum,
+  copy,
+  alloc_index,
+  persist,
+  tx,
+  rtt,  // client-side whole-request span (issue -> response parsed)
+};
+inline constexpr int kStages = 8;
+
+[[nodiscard]] constexpr std::string_view to_string(Stage s) noexcept {
+  switch (s) {
+    case Stage::rx: return "rx";
+    case Stage::parse: return "parse";
+    case Stage::checksum: return "checksum";
+    case Stage::copy: return "copy";
+    case Stage::alloc_index: return "alloc+index";
+    case Stage::persist: return "persist";
+    case Stage::tx: return "tx";
+    case Stage::rtt: return "rtt";
+  }
+  return "?";
+}
+
+// One closed span: stage `stage` of request `req` on track `track`
+// occupied [ts, ts+dur) in simulated time.
+struct SpanEvent {
+  u64 req = 0;
+  u32 track = 0;  // exporter tid: shard id, or kClientTrack for the client
+  Stage stage = Stage::rx;
+  SimTime ts = 0;
+  SimTime dur = 0;
+};
+
+inline constexpr u32 kClientTrack = 1000;
+
+// Append-only span log. One per datapath shard; merge_from() at export
+// is associative (concatenation; exporters sort by timestamp).
+class TraceLog {
+ public:
+  void set_track(u32 t) noexcept { track_ = t; }
+  [[nodiscard]] u32 track() const noexcept { return track_; }
+
+  void record(u64 req, Stage s, SimTime ts, SimTime dur) {
+    if constexpr (kEnabled) {
+      events_.push_back({req, track_, s, ts, dur});
+    } else {
+      (void)req;
+      (void)s;
+      (void)ts;
+      (void)dur;
+    }
+  }
+
+  [[nodiscard]] const std::vector<SpanEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  void clear() noexcept { events_.clear(); }
+
+  void merge_from(const TraceLog& o) {
+    events_.insert(events_.end(), o.events_.begin(), o.events_.end());
+  }
+
+ private:
+  std::vector<SpanEvent> events_;
+  u32 track_ = 0;
+};
+
+// The request-scoped handle. Null-constructed contexts swallow all
+// operations, so call sites never branch on "is tracing on".
+class TraceContext {
+ public:
+  TraceContext() = default;
+  TraceContext(sim::Env& env, TraceLog* log, u64 req) noexcept
+      : env_(&env), log_(log), req_(req) {}
+
+  [[nodiscard]] bool active() const noexcept {
+    return kEnabled && log_ != nullptr;
+  }
+  [[nodiscard]] u64 req() const noexcept { return req_; }
+
+  // Record a span with explicit bounds (for stages measured elsewhere,
+  // e.g. per-packet rx costs stamped by the TCP stack).
+  void record(Stage s, SimTime ts, SimTime dur) {
+    if (active()) log_->record(req_, s, ts, dur);
+  }
+
+  // RAII span: enters at construction, closes at destruction (or at an
+  // explicit close()). Nesting works naturally — inner spans close
+  // first, and the exporter nests them by containment.
+  class Span {
+   public:
+    Span() = default;
+    Span(TraceContext& ctx, Stage s) noexcept {
+      if (ctx.active()) {
+        ctx_ = &ctx;
+        stage_ = s;
+        t0_ = ctx.env_->now();
+      }
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { close(); }
+
+    void close() noexcept {
+      if (ctx_ != nullptr) {
+        ctx_->record(stage_, t0_, ctx_->env_->now() - t0_);
+        ctx_ = nullptr;
+      }
+    }
+
+   private:
+    TraceContext* ctx_ = nullptr;
+    Stage stage_ = Stage::rx;
+    SimTime t0_ = 0;
+  };
+
+  [[nodiscard]] Span span(Stage s) noexcept { return Span(*this, s); }
+
+ private:
+  sim::Env* env_ = nullptr;
+  TraceLog* log_ = nullptr;
+  u64 req_ = 0;
+};
+
+// --- Exporters -----------------------------------------------------------
+
+// Per-stage attribution over a span log: totals, span counts and the
+// number of distinct requests (the denominator for per-request means).
+struct Attribution {
+  SimTime total_ns[kStages] = {};
+  u64 spans[kStages] = {};
+  u64 requests = 0;  // distinct req ids among non-rtt server spans
+
+  [[nodiscard]] double mean_ns(Stage s) const noexcept {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(total_ns[static_cast<int>(s)]) /
+                               static_cast<double>(requests);
+  }
+  // Sum of the per-request means over the server-side stages (everything
+  // except the client rtt track).
+  [[nodiscard]] double server_sum_ns() const noexcept;
+};
+
+[[nodiscard]] Attribution attribute(const TraceLog& log);
+
+// Chrome trace_events JSON (the object form: {"traceEvents": [...]}).
+// Every span becomes an "X" (complete) event; ts/dur are microseconds as
+// chrome://tracing and Perfetto expect; pid 1, tid = track, with thread
+// metadata naming server shards and the client track.
+[[nodiscard]] std::string chrome_trace_json(const TraceLog& log);
+
+}  // namespace papm::obs

@@ -56,6 +56,23 @@ void PmDevice::mark_dirty(u64 offset, u64 len) {
     dirty_.insert(line);
     pending_.erase(line);  // a new store re-dirties a clwb'd line
   }
+  if constexpr (obs::kEnabled) {
+    if (dirty_.size() > epoch_.dirty_hwm) epoch_.dirty_hwm = dirty_.size();
+    obs::peak(m_dirty_hwm_, dirty_.size());
+  }
+}
+
+void PmDevice::set_metrics(obs::MetricRegistry* r) {
+  if (r == nullptr) {
+    m_clwb_ = m_sfence_ = m_bytes_flushed_ = nullptr;
+    m_dirty_hwm_ = m_pending_hwm_ = nullptr;
+    return;
+  }
+  m_clwb_ = &r->counter("pm.clwb");
+  m_sfence_ = &r->counter("pm.sfence");
+  m_bytes_flushed_ = &r->counter("pm.bytes_flushed");
+  m_dirty_hwm_ = &r->gauge("pm.dirty_lines_hwm");
+  m_pending_hwm_ = &r->gauge("pm.pending_lines_hwm");
 }
 
 void PmDevice::bump_fault_event() {
@@ -75,6 +92,14 @@ void PmDevice::clwb(u64 offset, u64 len) {
   for (u64 line = first; line <= last; line++) {
     if (dirty_.erase(line) > 0) pending_.insert(line);
     total_clwb_++;
+    if constexpr (obs::kEnabled) {
+      epoch_.clwb++;
+      obs::inc(m_clwb_);
+      if (pending_.size() > epoch_.pending_hwm) {
+        epoch_.pending_hwm = pending_.size();
+      }
+      obs::peak(m_pending_hwm_, pending_.size());
+    }
     env_.clock().advance(env_.cost.clwb_ns);
     bump_fault_event();  // the cut may fire with this line in flight
   }
@@ -84,6 +109,13 @@ void PmDevice::sfence() {
   for (u64 line : pending_) {
     std::memcpy(persisted_.data() + line * kCacheLine,
                 mem_.data() + line * kCacheLine, kCacheLine);
+  }
+  if constexpr (obs::kEnabled) {
+    epoch_.sfence++;
+    epoch_.lines_drained += pending_.size();
+    epoch_.bytes_flushed += pending_.size() * kCacheLine;
+    obs::inc(m_sfence_);
+    obs::inc(m_bytes_flushed_, pending_.size() * kCacheLine);
   }
   pending_.clear();
   total_sfence_++;

@@ -31,6 +31,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "pm/fault_plan.h"
 #include "sim/env.h"
 
@@ -129,6 +130,28 @@ class PmDevice {
   [[nodiscard]] std::size_t dirty_lines() const noexcept { return dirty_.size(); }
   [[nodiscard]] std::size_t pending_lines() const noexcept { return pending_.size(); }
 
+  // --- Observability ------------------------------------------------------
+  /// Flush/fence accounting for one measurement window. Epoch counters
+  /// freeze at zero with PAPM_OBS=OFF (the compile-time kill switch) —
+  /// the lifetime totals below stay on either way.
+  struct FlushEpoch {
+    u64 clwb = 0;           // clwb instructions retired (one per line)
+    u64 sfence = 0;         // ordering fences retired
+    u64 lines_drained = 0;  // lines made durable at fences
+    u64 bytes_flushed = 0;  // lines_drained * kCacheLine
+    u64 dirty_hwm = 0;      // peak dirty (stored, un-clwb'd) line count
+    u64 pending_hwm = 0;    // peak clwb'd-but-unfenced line count
+  };
+  /// Starts a fresh accounting window (benches: call at the start of the
+  /// measured region, read obs_epoch() at its end).
+  void obs_begin_epoch() noexcept { epoch_ = {}; }
+  [[nodiscard]] const FlushEpoch& obs_epoch() const noexcept { return epoch_; }
+
+  /// Mirrors future flush/fence activity into `r` (per-shard registries
+  /// merge at report time): counters pm.clwb / pm.sfence /
+  /// pm.bytes_flushed, gauges pm.dirty_lines_hwm / pm.pending_lines_hwm.
+  void set_metrics(obs::MetricRegistry* r);
+
   /// Lifetime flush statistics (for benches).
   [[nodiscard]] u64 total_clwb() const noexcept { return total_clwb_; }
   [[nodiscard]] u64 total_sfence() const noexcept { return total_sfence_; }
@@ -197,6 +220,13 @@ class PmDevice {
   u64 total_clwb_ = 0;
   u64 total_sfence_ = 0;
   mutable u64 accessed_bytes_ = 0;
+
+  FlushEpoch epoch_{};
+  obs::Counter* m_clwb_ = nullptr;
+  obs::Counter* m_sfence_ = nullptr;
+  obs::Counter* m_bytes_flushed_ = nullptr;
+  obs::Gauge* m_dirty_hwm_ = nullptr;
+  obs::Gauge* m_pending_hwm_ = nullptr;
 };
 
 }  // namespace papm::pm

@@ -74,6 +74,7 @@ Result<LsmStore> LsmStore::recover(pm::PmDevice& dev, pm::PmPool& pool,
 
 Status LsmStore::put(std::string_view key, std::span<const u8> value,
                      OpBreakdown* bd) {
+  obs::inc(m_puts_);
   if (wal_.has_value()) {
     Status st = wal_->append(WalRecordType::put, key, value);
     if (st.errc() == Errc::out_of_space) {
@@ -94,6 +95,7 @@ Status LsmStore::put(std::string_view key, std::span<const u8> value,
 }
 
 Status LsmStore::erase(std::string_view key) {
+  obs::inc(m_erases_);
   if (wal_.has_value()) {
     Status st = wal_->append(WalRecordType::erase, key, {});
     if (st.errc() == Errc::out_of_space) {
@@ -117,6 +119,7 @@ Status LsmStore::erase(std::string_view key) {
 }
 
 Result<std::vector<u8>> LsmStore::get(std::string_view key) const {
+  obs::inc(m_gets_);
   const auto top = active_->lookup(key);
   if (top.ok()) {
     if (top->tombstone) return Errc::not_found;
@@ -166,6 +169,7 @@ Status LsmStore::maybe_rotate() {
 Status LsmStore::rotate() {
   if (active_->size() == 0) return Errc::ok;
   if (frozen_.size() + 1 >= kMaxLiveTables) return Errc::out_of_space;
+  obs::inc(m_rotations_);
   frozen_.push_back(std::move(*active_));
   active_ = PmMemtable::create(*dev_, *pool_, table_name(next_table_));
   next_table_++;

@@ -90,6 +90,17 @@ class LsmStore {
     if (active_.has_value()) active_->set_batched(b);
   }
 
+  // Mirrors op counts into a (per-shard) registry: store.puts /
+  // store.gets / store.erases / store.rotations, plus the WAL's
+  // wal.* counters when the log is enabled.
+  void set_metrics(obs::MetricRegistry* r) {
+    m_puts_ = r != nullptr ? &r->counter("store.puts") : nullptr;
+    m_gets_ = r != nullptr ? &r->counter("store.gets") : nullptr;
+    m_erases_ = r != nullptr ? &r->counter("store.erases") : nullptr;
+    m_rotations_ = r != nullptr ? &r->counter("store.rotations") : nullptr;
+    if (wal_.has_value()) wal_->set_metrics(r);
+  }
+
  private:
   LsmStore(pm::PmDevice& dev, pm::PmPool& pool, std::string name,
            LsmOptions opts)
@@ -113,6 +124,10 @@ class LsmStore {
   std::deque<PmMemtable> frozen_;  // newest at back
   u64 next_table_ = 1;             // next table number to allocate
   u64 bytes_in_active_ = 0;
+  obs::Counter* m_puts_ = nullptr;
+  obs::Counter* m_gets_ = nullptr;
+  obs::Counter* m_erases_ = nullptr;
+  obs::Counter* m_rotations_ = nullptr;
 };
 
 }  // namespace papm::storage

@@ -76,6 +76,8 @@ Status Wal::append(WalRecordType type, std::string_view key,
   dev_->persist(h->tail, rec_len);
   h->tail += rec_len;
   persist_tail();
+  obs::inc(m_appends_);
+  obs::inc(m_append_bytes_, rec_len);
   return Errc::ok;
 }
 
@@ -113,6 +115,7 @@ void Wal::truncate() {
   Header* h = hdr();
   h->tail = h->base + align_up(sizeof(Header), kCacheLine);
   persist_tail();
+  obs::inc(m_truncates_);
 }
 
 u64 Wal::bytes_used() const {

@@ -17,6 +17,7 @@
 
 #include "common/crc32c.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "pm/pm_device.h"
 
 namespace papm::storage {
@@ -53,6 +54,14 @@ class Wal {
   [[nodiscard]] u64 bytes_used() const;
   [[nodiscard]] u64 capacity() const;
 
+  // Mirrors append/truncate activity into registry counters:
+  // wal.appends / wal.append_bytes / wal.truncates.
+  void set_metrics(obs::MetricRegistry* r) {
+    m_appends_ = r != nullptr ? &r->counter("wal.appends") : nullptr;
+    m_append_bytes_ = r != nullptr ? &r->counter("wal.append_bytes") : nullptr;
+    m_truncates_ = r != nullptr ? &r->counter("wal.truncates") : nullptr;
+  }
+
  private:
   struct Header {
     u64 magic;
@@ -69,6 +78,9 @@ class Wal {
 
   pm::PmDevice* dev_;
   u64 header_off_;
+  obs::Counter* m_appends_ = nullptr;
+  obs::Counter* m_append_bytes_ = nullptr;
+  obs::Counter* m_truncates_ = nullptr;
 };
 
 }  // namespace papm::storage

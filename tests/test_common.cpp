@@ -254,13 +254,35 @@ TEST(Stats, BasicMoments) {
   EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
 }
 
-TEST(Stats, PercentileInterpolates) {
+TEST(Stats, PercentileNearestRank) {
   Stats s;
   for (int i = 1; i <= 100; i++) s.add(i);
-  EXPECT_NEAR(s.percentile(99), 99.01, 0.05);
-  EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
+  // Nearest rank over {1..100}: rank = ceil(p), always an actual sample.
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.01), 100.0);  // ceil(99.01) = 100
   EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
   EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(Stats, PercentileEdgeCases) {
+  Stats one;
+  one.add(42.0);
+  // A single sample answers every percentile query.
+  EXPECT_DOUBLE_EQ(one.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(100), 42.0);
+  // Out-of-range p clamps instead of indexing past the ends.
+  EXPECT_DOUBLE_EQ(one.percentile(-5), 42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(250), 42.0);
+
+  Stats two;
+  two.add(1.0);
+  two.add(2.0);
+  EXPECT_DOUBLE_EQ(two.percentile(0), 1.0);    // p=0 is the minimum
+  EXPECT_DOUBLE_EQ(two.percentile(50), 1.0);   // rank ceil(0.5*2) = 1
+  EXPECT_DOUBLE_EQ(two.percentile(50.1), 2.0);  // rank ceil(1.002) = 2
+  EXPECT_DOUBLE_EQ(two.median(), 1.0);
 }
 
 TEST(Stats, EmptyIsZero) {
@@ -268,6 +290,28 @@ TEST(Stats, EmptyIsZero) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_EQ(s.hist(), "(no samples)\n");
+}
+
+TEST(Stats, HistSketch) {
+  Stats s;
+  for (int i = 0; i < 90; i++) s.add(1.0);  // heavy low bucket
+  s.add(100.0);                             // one high outlier
+  const std::string h = s.hist(10, 20);
+  // Ten rows, the low bucket at full width, the top bucket holding the
+  // outlier, empty middle buckets barless.
+  EXPECT_EQ(std::count(h.begin(), h.end(), '\n'), 10);
+  EXPECT_NE(h.find(std::string(20, '#')), std::string::npos);
+  EXPECT_NE(h.find(" 90\n"), std::string::npos);
+  EXPECT_NE(h.find(" 1\n"), std::string::npos);
+
+  Stats flat;  // all-equal samples: degenerate span must not divide by 0
+  flat.add(5.0);
+  flat.add(5.0);
+  const std::string f = flat.hist(4, 8);
+  EXPECT_EQ(std::count(f.begin(), f.end(), '\n'), 4);
+  EXPECT_NE(f.find(" 2\n"), std::string::npos);
 }
 
 TEST(Stats, ClearResets) {

@@ -217,6 +217,42 @@ TEST(PktTap, DisabledTapPassesThrough) {
   EXPECT_EQ(tap.size(), 0u);
 }
 
+TEST(PktTap, DropsCaptureWhenClonePoolExhausted) {
+  // The pool's metadata limit models a fixed driver descriptor pool; a
+  // tap must stay best-effort when it is exhausted — the capture is
+  // dropped and counted, the original still flows.
+  sim::Env env;
+  net::HeapArena arena(env);
+  net::PktBufPool pool(env, arena);
+  pool.set_meta_limit(2);  // room for the original + exactly one clone
+  obs::MetricRegistry reg;
+  net::PktTap tap(pool, 8);
+  tap.set_metrics(&reg);
+
+  std::vector<net::PktBuf*> delivered;
+  auto next = [&](net::PktBuf* pb) { delivered.push_back(pb); };
+
+  net::PktBuf* pb = pool.alloc(64);
+  ASSERT_NE(pb, nullptr);
+  tap.tap(pb, next);  // clone takes the last descriptor
+  EXPECT_EQ(tap.captured(), 1u);
+  EXPECT_EQ(tap.dropped(), 0u);
+
+  tap.tap(pb, next);  // pool at the cap: capture dropped, delivery intact
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(tap.captured(), 1u);
+  EXPECT_EQ(tap.size(), 1u);
+  EXPECT_EQ(tap.dropped(), 1u);
+  if (obs::kEnabled) {
+    EXPECT_EQ(reg.counter("tap.captured").value(), 1u);
+    EXPECT_EQ(reg.counter("tap.dropped").value(), 1u);
+  }
+
+  tap.clear();
+  pool.free(pb);
+  EXPECT_EQ(pool.live_data_blocks(), 0u);
+}
+
 TEST(PktTap, EndToEndCaptureOnServer) {
   // Tap between NIC and stack on a live connection: every segment of the
   // exchange shows up in the ring with metadata intact.

@@ -1,0 +1,371 @@
+// Observability unit tests: histogram bucketing, registry merge algebra,
+// trace span nesting across shard hops, and the Chrome trace_events
+// export round-tripped through a minimal JSON parser.
+//
+// The whole suite compiles and passes in both configurations: with
+// PAPM_OBS=ON it checks recorded values; with OFF it checks that the
+// hooks are inert (empty logs, zero counters) — the kill-switch
+// contract.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pm/pm_device.h"
+#include "sim/env.h"
+
+namespace papm {
+namespace {
+
+// ---------- Histogram ----------
+
+TEST(Histogram, BucketEdges) {
+  using H = obs::Histogram;
+  EXPECT_EQ(H::bucket_of(0), 0);
+  EXPECT_EQ(H::bucket_of(1), 0);
+  EXPECT_EQ(H::bucket_of(2), 1);
+  EXPECT_EQ(H::bucket_of(3), 2);
+  EXPECT_EQ(H::bucket_of(4), 2);
+  EXPECT_EQ(H::bucket_of(5), 3);
+  // Every bucket's upper edge maps into that bucket; one past maps out.
+  for (int i = 1; i < 62; i++) {
+    EXPECT_EQ(H::bucket_of(H::bucket_upper(i)), i) << i;
+    EXPECT_EQ(H::bucket_of(H::bucket_upper(i) + 1), i + 1) << i;
+  }
+  EXPECT_EQ(H::bucket_of(~0ULL), 63);
+}
+
+TEST(Histogram, MomentsAndQuantiles) {
+  obs::Histogram h;
+  for (u64 v = 1; v <= 100; v++) h.observe(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // quantile_upper is the bucket's upper edge holding the nearest rank:
+  // the median of 1..100 sits in bucket (32,64].
+  EXPECT_EQ(h.quantile_upper(0.5), 64u);
+  EXPECT_EQ(h.quantile_upper(1.0), 128u);
+  EXPECT_EQ(obs::Histogram{}.quantile_upper(0.5), 0u);
+}
+
+// ---------- MetricRegistry ----------
+
+TEST(MetricRegistry, MergeIsAssociativeAndCommutative) {
+  // Three shard registries with overlapping and disjoint names.
+  auto make = [](u64 a, u64 g, u64 extra) {
+    auto r = std::make_unique<obs::MetricRegistry>();
+    r->counter("shared.count").add(a);
+    r->gauge("shared.peak").peak(g);
+    r->histogram("shared.lat").observe(a * 10);
+    if (extra != 0) r->counter("only.some").add(extra);
+    return r;
+  };
+  const auto a = make(1, 5, 0);
+  const auto b = make(2, 9, 7);
+  const auto c = make(4, 3, 1);
+
+  obs::MetricRegistry left;   // (a + b) + c
+  left.merge_from(*a);
+  left.merge_from(*b);
+  left.merge_from(*c);
+  obs::MetricRegistry right;  // c + (b + a)
+  obs::MetricRegistry inner;
+  inner.merge_from(*b);
+  inner.merge_from(*a);
+  right.merge_from(*c);
+  right.merge_from(inner);
+
+  EXPECT_EQ(left.report(), right.report());
+  EXPECT_EQ(left.to_json(), right.to_json());
+  EXPECT_EQ(left.counter("shared.count").value(), 7u);
+  EXPECT_EQ(left.gauge("shared.peak").value(), 9u);   // max, not sum
+  EXPECT_EQ(left.counter("only.some").value(), 8u);
+  EXPECT_EQ(left.histogram("shared.lat").count(), 3u);
+}
+
+TEST(MetricRegistry, ResetKeepsRegistrationsValid) {
+  obs::MetricRegistry r;
+  obs::Counter* c = &r.counter("x.count");
+  obs::Histogram* h = &r.histogram("x.lat");
+  obs::inc(c, 5);
+  obs::observe(h, 100);
+  r.reset_values();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  obs::inc(c, 2);  // cached pointer still the registered instance
+  EXPECT_EQ(r.counter("x.count").value(), obs::kEnabled ? 2u : 0u);
+}
+
+TEST(MetricRegistry, HooksAreInertWhenDisabledOrNull) {
+  obs::inc(nullptr);  // must not crash
+  obs::peak(nullptr, 3);
+  obs::observe(nullptr, 3);
+  obs::MetricRegistry r;
+  obs::Counter* c = &r.counter("n");
+  obs::inc(c, 4);
+  EXPECT_EQ(c->value(), obs::kEnabled ? 4u : 0u);
+}
+
+// ---------- TraceContext / TraceLog ----------
+
+TEST(Trace, SpansNestAndCloseAcrossShardHops) {
+  sim::Env env;
+  obs::TraceLog log0, log1;
+  log0.set_track(0);
+  log1.set_track(1);
+
+  // Request 7 starts on shard 0: an outer rx span with a nested parse.
+  obs::TraceContext t0(env, &log0, 7);
+  SimTime outer_t0 = env.now();
+  {
+    auto outer = t0.span(obs::Stage::rx);
+    env.clock().advance(100);
+    {
+      auto inner = t0.span(obs::Stage::parse);
+      env.clock().advance(50);
+    }  // inner closes first
+    env.clock().advance(25);
+  }
+
+  // The request hops to shard 1 (e.g. a cross-shard GET): a new context
+  // with the SAME request id records into that shard's log.
+  obs::TraceContext t1(env, &log1, 7);
+  {
+    auto persist = t1.span(obs::Stage::persist);
+    env.clock().advance(200);
+  }
+
+  if (!obs::kEnabled) {
+    EXPECT_EQ(log0.size(), 0u);
+    EXPECT_EQ(log1.size(), 0u);
+    return;
+  }
+  ASSERT_EQ(log0.size(), 2u);
+  ASSERT_EQ(log1.size(), 1u);
+
+  // Inner closed before outer, so it appears first; containment holds.
+  const auto& inner_ev = log0.events()[0];
+  const auto& outer_ev = log0.events()[1];
+  EXPECT_EQ(inner_ev.stage, obs::Stage::parse);
+  EXPECT_EQ(outer_ev.stage, obs::Stage::rx);
+  EXPECT_EQ(outer_ev.ts, outer_t0);
+  EXPECT_EQ(outer_ev.dur, 175u);
+  EXPECT_GE(inner_ev.ts, outer_ev.ts);
+  EXPECT_LE(inner_ev.ts + inner_ev.dur, outer_ev.ts + outer_ev.dur);
+
+  // Merge is concatenation; attribution counts the request once even
+  // though its spans live in two shard logs.
+  obs::TraceLog merged;
+  merged.merge_from(log0);
+  merged.merge_from(log1);
+  const obs::Attribution at = obs::attribute(merged);
+  EXPECT_EQ(at.requests, 1u);
+  EXPECT_EQ(at.total_ns[static_cast<int>(obs::Stage::persist)], 200u);
+  EXPECT_EQ(at.spans[static_cast<int>(obs::Stage::rx)], 1u);
+  EXPECT_DOUBLE_EQ(at.mean_ns(obs::Stage::parse), 50.0);
+
+  // Null-log contexts swallow everything.
+  obs::TraceContext none;
+  auto s = none.span(obs::Stage::tx);
+  s.close();
+  EXPECT_FALSE(none.active());
+}
+
+// ---------- Chrome trace JSON round-trip ----------
+
+// Minimal JSON scanner: validates bracket/brace balance and string
+// escapes, and extracts every object's name/ph/tid/ts/dur/req fields.
+// Deliberately tiny — just enough structure checking to prove the export
+// is well-formed without a JSON library.
+struct MiniEvent {
+  std::string name;
+  std::string ph;
+  u32 tid = 0;
+  double ts = 0;
+  double dur = 0;
+  u64 req = 0;
+};
+
+class MiniParser {
+ public:
+  explicit MiniParser(std::string_view s) : s_(s) {}
+
+  // Returns false on any structural error.
+  bool parse(std::vector<MiniEvent>& out) {
+    int depth = 0;
+    MiniEvent cur;
+    bool in_event = false;
+    while (pos_ < s_.size()) {
+      skip_ws();
+      if (pos_ >= s_.size()) break;
+      const char c = s_[pos_];
+      if (c == '{' || c == '[') {
+        depth++;
+        pos_++;
+        if (c == '{' && depth == 3) {  // {root {traceEvents [ {event...
+          cur = MiniEvent{};
+          in_event = true;
+        }
+      } else if (c == '}' || c == ']') {
+        if (depth == 0) return false;
+        if (c == '}' && depth == 3 && in_event) {
+          out.push_back(cur);
+          in_event = false;
+        }
+        depth--;
+        pos_++;
+      } else if (c == '"') {
+        std::string key;
+        if (!string_lit(key)) return false;
+        skip_ws();
+        if (pos_ < s_.size() && s_[pos_] == ':') {
+          pos_++;
+          skip_ws();
+          if (!value(key, cur, in_event)) return false;
+        }
+      } else if (c == ',' || c == ':') {
+        pos_++;
+      } else {
+        return false;
+      }
+    }
+    return depth == 0;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      pos_++;
+    }
+  }
+  bool string_lit(std::string& out) {
+    if (s_[pos_] != '"') return false;
+    pos_++;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') pos_++;  // escape: take next char verbatim
+      if (pos_ >= s_.size()) return false;
+      out += s_[pos_++];
+    }
+    if (pos_ >= s_.size()) return false;
+    pos_++;  // closing quote
+    return true;
+  }
+  bool value(const std::string& key, MiniEvent& cur, bool in_event) {
+    if (pos_ >= s_.size()) return false;
+    if (s_[pos_] == '"') {
+      std::string v;
+      if (!string_lit(v)) return false;
+      if (in_event && key == "name") cur.name = v;
+      if (in_event && key == "ph") cur.ph = v;
+      return true;
+    }
+    if (s_[pos_] == '{' || s_[pos_] == '[') return true;  // handled by loop
+    // Number.
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == '-' || s_[pos_] == '+' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      pos_++;
+    }
+    if (pos_ == start) return false;
+    const double num = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(), nullptr);
+    if (in_event) {
+      if (key == "tid") cur.tid = static_cast<u32>(num);
+      if (key == "ts") cur.ts = num;
+      if (key == "dur") cur.dur = num;
+      if (key == "req") cur.req = static_cast<u64>(num);
+    }
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Trace, ChromeJsonRoundTripsThroughMinimalParser) {
+  sim::Env env;
+  obs::TraceLog server, client;
+  server.set_track(0);
+  client.set_track(obs::kClientTrack);
+
+  server.record(1, obs::Stage::rx, 1000, 500);
+  server.record(1, obs::Stage::persist, 1500, 2500);
+  client.record(1, obs::Stage::rtt, 0, 5000);
+  server.record(2, obs::Stage::rx, 6000, 321);
+
+  obs::TraceLog merged;
+  merged.merge_from(server);
+  merged.merge_from(client);
+  const std::string json = obs::chrome_trace_json(merged);
+
+  std::vector<MiniEvent> evs;
+  ASSERT_TRUE(MiniParser(json).parse(evs)) << json;
+
+  if (!obs::kEnabled) {
+    for (const auto& e : evs) EXPECT_EQ(e.ph, "M");  // no spans recorded
+    return;
+  }
+  // 2 metadata (thread names) + 4 "X" spans, sorted by timestamp.
+  std::vector<MiniEvent> xs, ms;
+  for (const auto& e : evs) (e.ph == "X" ? xs : ms).push_back(e);
+  ASSERT_EQ(ms.size(), 2u);
+  ASSERT_EQ(xs.size(), 4u);
+
+  EXPECT_EQ(xs[0].name, "rtt");
+  EXPECT_EQ(xs[0].tid, obs::kClientTrack);
+  EXPECT_DOUBLE_EQ(xs[0].ts, 0.0);
+  EXPECT_DOUBLE_EQ(xs[0].dur, 5.0);  // 5000 ns = 5 us
+  EXPECT_EQ(xs[1].name, "rx");
+  EXPECT_DOUBLE_EQ(xs[1].ts, 1.0);
+  EXPECT_DOUBLE_EQ(xs[1].dur, 0.5);
+  EXPECT_EQ(xs[2].name, "persist");
+  EXPECT_DOUBLE_EQ(xs[2].dur, 2.5);
+  EXPECT_EQ(xs[3].name, "rx");
+  EXPECT_EQ(xs[3].req, 2u);
+  EXPECT_DOUBLE_EQ(xs[3].dur, 0.321);
+}
+
+// ---------- PmDevice flush accounting ----------
+
+TEST(PmObs, EpochAndRegistryAgreeOnFlushCounts) {
+  sim::Env env;
+  pm::PmDevice dev(env, 1u << 20);
+  obs::MetricRegistry reg;
+  dev.set_metrics(&reg);
+  dev.obs_begin_epoch();
+
+  std::vector<u8> data(3 * kCacheLine, 0xAB);
+  const u64 at = dev.data_base();
+  dev.store(at, data);
+  dev.persist(at, data.size());
+
+  const auto ep = dev.obs_epoch();
+  if (!obs::kEnabled) {
+    EXPECT_EQ(ep.clwb, 0u);
+    return;
+  }
+  EXPECT_GE(ep.clwb, 3u);  // at least the three data lines
+  EXPECT_GE(ep.sfence, 1u);
+  EXPECT_EQ(ep.bytes_flushed, ep.lines_drained * kCacheLine);
+  EXPECT_GE(ep.dirty_hwm, 3u);
+  EXPECT_GE(ep.pending_hwm, 1u);
+  // The registry counters saw the same events.
+  EXPECT_EQ(reg.counter("pm.clwb").value(), ep.clwb);
+  EXPECT_EQ(reg.counter("pm.sfence").value(), ep.sfence);
+  EXPECT_EQ(reg.counter("pm.bytes_flushed").value(), ep.bytes_flushed);
+
+  // A new epoch rewinds the window, not the registry.
+  dev.obs_begin_epoch();
+  EXPECT_EQ(dev.obs_epoch().clwb, 0u);
+  EXPECT_EQ(reg.counter("pm.clwb").value(), ep.clwb);
+}
+
+}  // namespace
+}  // namespace papm
