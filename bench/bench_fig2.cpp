@@ -9,6 +9,8 @@
 // --metrics additionally prints the per-cell PM flush/fence accounting
 // (clwb/sfence/bytes per op — the persistence-cost delta between the
 // backends) and the full metric registries for the largest sweep point.
+// --json <path> writes the sweep as schema-v3 records, including the
+// per-op flush-cost fields.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -21,13 +23,13 @@ using namespace papm::app;
 
 int main(int argc, char** argv) {
   const bool want_metrics = benchio::has_flag(argc, argv, "--metrics");
-  struct FlushCell {
+  const std::string json_path = benchio::json_path_from_args(argc, argv);
+  struct Cell {
     int conns;
     Backend backend;
-    pm::PmDevice::FlushEpoch flush;
-    u64 ops;
+    RunResult r;
   };
-  std::vector<FlushCell> flush_cells;
+  std::vector<Cell> cells;
   std::string last_lsm_report;
 
   std::printf(
@@ -43,7 +45,11 @@ int main(int argc, char** argv) {
   for (const int conns : {1, 25, 50, 75, 100}) {
     RunConfig cfg;
     cfg.connections = conns;
-    cfg.warmup_ns = 10 * kNsPerMs;
+    // Warmup doubles as the load phase: long enough that the uniform
+    // keyspace is (almost) fully populated before measurement starts, so
+    // the window reports steady-state overwrites, not first-touch inserts
+    // (which pay an extra index-node line and skew the flush accounting).
+    cfg.warmup_ns = 160 * kNsPerMs;
     cfg.measure_ns = 60 * kNsPerMs;
     cfg.keyspace = 4096;
 
@@ -54,12 +60,10 @@ int main(int argc, char** argv) {
     const auto lsm = run_experiment(cfg);
     cfg.backend = Backend::pktstore;
     const auto pkt = run_experiment(cfg);
-    if (want_metrics) {
-      flush_cells.push_back({conns, Backend::raw_persist, raw.flush, raw.ops});
-      flush_cells.push_back({conns, Backend::lsm, lsm.flush, lsm.ops});
-      flush_cells.push_back({conns, Backend::pktstore, pkt.flush, pkt.ops});
-      last_lsm_report = lsm.metrics_report;
-    }
+    if (want_metrics) last_lsm_report = lsm.metrics_report;
+    cells.push_back({conns, Backend::raw_persist, raw});
+    cells.push_back({conns, Backend::lsm, lsm});
+    cells.push_back({conns, Backend::pktstore, pkt});
 
     std::printf(
         "%5d | %12.1f %8.1f %12.1f | %12.1f %8.1f %12.1f | %11.1f %12.1f | "
@@ -74,16 +78,41 @@ int main(int argc, char** argv) {
     std::printf("\n--- PM flush/fence accounting per backend ---\n");
     std::printf("%5s %-12s %10s %10s %10s\n", "conns", "backend", "clwb/op",
                 "sfence/op", "B/op");
-    for (const auto& c : flush_cells) {
-      const double ops = c.ops > 0 ? static_cast<double>(c.ops) : 1.0;
+    for (const auto& c : cells) {
+      const double ops = c.r.ops > 0 ? static_cast<double>(c.r.ops) : 1.0;
       std::printf("%5d %-12s %10.1f %10.2f %10.0f\n", c.conns,
                   std::string(to_string(c.backend)).c_str(),
-                  static_cast<double>(c.flush.clwb) / ops,
-                  static_cast<double>(c.flush.sfence) / ops,
-                  static_cast<double>(c.flush.bytes_flushed) / ops);
+                  static_cast<double>(c.r.flush.clwb) / ops,
+                  static_cast<double>(c.r.flush.sfence) / ops,
+                  static_cast<double>(c.r.flush.bytes_flushed) / ops);
     }
     std::printf("\n--- Metric registries (lsm, largest sweep point) ---\n%s",
                 last_lsm_report.c_str());
+  }
+
+  if (!json_path.empty()) {
+    benchio::JsonWriter w;
+    w.begin_object();
+    benchio::write_metadata(w, "fig2");
+    w.begin_array("results");
+    for (const auto& c : cells) {
+      w.begin_object();
+      w.field("backend", to_string(c.backend));
+      w.field("connections", static_cast<long long>(c.conns));
+      w.field("mean_rtt_us", c.r.mean_rtt_us());
+      w.field("p99_rtt_us", c.r.p99_rtt_us());
+      w.field("kreq_per_s", c.r.kreq_per_s);
+      w.field("ops", static_cast<long long>(c.r.ops));
+      benchio::write_flush_per_op(w, c.r.flush, c.r.ops);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (!w.write(json_path)) {
+      std::fprintf(stderr, "bench_fig2: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s (%zu records)\n", json_path.c_str(), cells.size());
   }
   return 0;
 }

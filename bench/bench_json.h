@@ -15,11 +15,14 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "pm/pm_device.h"
 
 namespace papm::benchio {
 
 // Bump when the emitted record shape changes incompatibly.
-inline constexpr long long kSchemaVersion = 2;
+// v3: per-record flush-cost fields (clwb_per_op / sfence_per_op /
+//     bytes_flushed_per_op) — the group/epoch-commit persistence bill.
+inline constexpr long long kSchemaVersion = 3;
 
 // Returns the value following `flag`, or empty if absent.
 inline std::string arg_value(int argc, char** argv, std::string_view flag) {
@@ -129,6 +132,18 @@ inline void write_metadata(JsonWriter& w, std::string_view bench) {
   w.field("build", "debug");
 #endif
   w.field("obs", obs::kEnabled ? "on" : "off");
+}
+
+// Emits the per-op flush-cost fields of schema v3: the persistence bill
+// a run actually paid, normalized over the ops the measurement window
+// completed. Group commit shows up here as clwb_per_op dropping toward
+// the pure content-line count and sfence_per_op toward ~1/epoch.
+inline void write_flush_per_op(JsonWriter& w, const pm::PmDevice::FlushEpoch& f,
+                               u64 ops) {
+  const double n = ops > 0 ? static_cast<double>(ops) : 1.0;
+  w.field("clwb_per_op", static_cast<double>(f.clwb) / n);
+  w.field("sfence_per_op", static_cast<double>(f.sfence) / n);
+  w.field("bytes_flushed_per_op", static_cast<double>(f.bytes_flushed) / n);
 }
 
 }  // namespace papm::benchio

@@ -42,6 +42,7 @@ void row(const char* overhead, const char* op, double paper_us, double ours_us) 
 
 int main(int argc, char** argv) {
   const std::string trace_path = benchio::arg_value(argc, argv, "--trace");
+  const std::string json_path = benchio::json_path_from_args(argc, argv);
   const bool want_metrics = benchio::has_flag(argc, argv, "--metrics");
   const bool check_attr = benchio::has_flag(argc, argv, "--check-attribution");
   const bool want_trace = !trace_path.empty() || check_attr;
@@ -139,6 +140,27 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(f.pending_hwm));
     std::printf("\n--- Metric registries (lsm window) ---\n%s",
                 lsm.metrics_report.c_str());
+  }
+
+  if (!json_path.empty()) {
+    benchio::JsonWriter w;
+    w.begin_object();
+    benchio::write_metadata(w, "table1");
+    w.field("networking_rtt_us", discard.mean_rtt_us());
+    w.field("lsm_rtt_us", lsm.mean_rtt_us());
+    w.field("prep_us", static_cast<double>(bd.prep_ns) / 1000.0);
+    w.field("checksum_us", static_cast<double>(bd.checksum_ns) / 1000.0);
+    w.field("copy_us", static_cast<double>(bd.copy_ns) / 1000.0);
+    w.field("alloc_insert_us", static_cast<double>(bd.alloc_insert_ns) / 1000.0);
+    w.field("persist_us", static_cast<double>(bd.persist_ns) / 1000.0);
+    w.field("ops", static_cast<long long>(lsm.ops));
+    benchio::write_flush_per_op(w, lsm.flush, lsm.ops);
+    w.end_object();
+    if (!w.write(json_path)) {
+      std::fprintf(stderr, "bench_table1: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
 
   if (!trace_path.empty()) {

@@ -2,9 +2,11 @@
 # Tier-1 verification: the plain build + test pass from ROADMAP.md,
 # a second ctest pass under ASan+UBSan (-DPAPM_SANITIZE=ON), a third
 # pass re-running the crash-point sweep suite under the sanitizers with
-# the exhaustive (scaled-up) workloads, and a fourth build+test pass with
+# the exhaustive (scaled-up) workloads, a fourth build+test pass with
 # observability compiled out (-DPAPM_OBS=OFF) proving the kill switch
-# leaves the tree buildable and the tests green. Also lints the docs
+# leaves the tree buildable and the tests green, and a fifth pass with
+# group commit compiled out (-DPAPM_GROUP_COMMIT=OFF) keeping the legacy
+# fence-per-op persistence path built and crash-tested. Also lints the docs
 # (every bench binary must have an EXPERIMENTS.md section; every
 # registered metric an entry in docs/OBSERVABILITY.md).
 # Run from the repository root.
@@ -33,5 +35,10 @@ echo "== tier-1: PAPM_OBS=OFF build (kill switch) =="
 cmake --preset noobs >/dev/null
 cmake --build build-noobs -j
 ctest --test-dir build-noobs --output-on-failure -j
+
+echo "== tier-1: PAPM_GROUP_COMMIT=OFF build (legacy fence-per-op path) =="
+cmake --preset nogc >/dev/null
+cmake --build build-nogc -j
+ctest --test-dir build-nogc --output-on-failure -j
 
 echo "== tier-1: OK =="

@@ -115,6 +115,17 @@ KvServer::KvServer(Host& host, const ServerConfig& cfg)
                                              cfg.pkt_opts);
         break;
     }
+    // Group/epoch commit rides the stores' batcher hooks. The policy
+    // travels in StoreKnobs for both backends (pkt_opts carries no
+    // persistence policy of its own).
+    if (pm::kGroupCommitCompiled && host_.pm_backed() &&
+        (cfg.backend == Backend::lsm || cfg.backend == Backend::pktstore)) {
+      sh.batcher.emplace(host_.pm_device(), cfg.knobs.group_commit);
+      sh.batcher->register_pool(host_.pm_pool(i));
+      if (sh.store_pool.has_value()) sh.batcher->register_pool(*sh.store_pool);
+      if (sh.lsm.has_value()) sh.lsm->set_batcher(&*sh.batcher);
+      if (sh.pktstore.has_value()) sh.pktstore->set_batcher(&*sh.batcher);
+    }
     obs::MetricRegistry& reg = host_.metrics(i);
     sh.m_requests = &reg.counter("server.requests");
     sh.m_errors = &reg.counter("server.errors");
@@ -164,6 +175,59 @@ bool KvServer::try_parse_head(ConnState& st) {
   return true;
 }
 
+void KvServer::arm_epoch_watchdog(u32 shard) {
+  Shard& sh = shards_[shard];
+  if (!sh.batcher.has_value() || sh.watchdog_armed ||
+      !sh.batcher->epoch_open()) {
+    return;
+  }
+  sh.watchdog_armed = true;
+  auto& env = host_.env();
+  const u64 serial = sh.batcher->epoch_serial();
+  const u64 deadline =
+      sh.batcher->epoch_opened_ns() + sh.batcher->policy().max_deferral_ns;
+  const u64 now = static_cast<u64>(env.now());
+  env.engine.schedule_in(static_cast<SimTime>(deadline > now ? deadline - now : 1),
+                         [this, shard, serial] {
+                           epoch_watchdog_fire(shard, serial);
+                         });
+}
+
+void KvServer::epoch_watchdog_fire(u32 shard, u64 serial) {
+  Shard& sh = shards_[shard];
+  sh.watchdog_armed = false;
+  if (!sh.batcher.has_value() || !sh.batcher->epoch_open()) return;
+  if (sh.batcher->epoch_serial() != serial) {
+    // A newer epoch opened since this watchdog was armed; give it its
+    // own deadline instead of cutting it short.
+    arm_epoch_watchdog(shard);
+    return;
+  }
+  // Deadline passed with the epoch still open (the request stream dried
+  // up): retire it as pinned CPU work — the fences and the deferred acks
+  // queue behind this shard's core like any request would.
+  host_.cpu().run_on(shard, [&sh] { sh.batcher->close(); });
+}
+
+void KvServer::arm_epoch_drain_check(u32 shard) {
+  Shard& sh = shards_[shard];
+  if (!sh.batcher.has_value() || !sh.batcher->epoch_open()) return;
+  auto& env = host_.env();
+  const u64 serial = sh.batcher->epoch_serial();
+  const u32 ops = sh.batcher->ops_in_epoch();
+  env.engine.schedule_in(
+      static_cast<SimTime>(sh.batcher->policy().idle_close_ns),
+      [this, shard, serial, ops] {
+        Shard& sh = shards_[shard];
+        if (!sh.batcher.has_value() || !sh.batcher->epoch_open()) return;
+        if (sh.batcher->epoch_serial() != serial ||
+            sh.batcher->ops_in_epoch() != ops) {
+          return;  // a newer op joined; its own drain check follows
+        }
+        host_.cpu().run_on(shard, [&sh] { sh.batcher->close(); });
+      });
+}
+
 void KvServer::on_readable(net::TcpConn& conn) {
   auto it = conns_.find(&conn);
   if (it == conns_.end()) return;
@@ -195,6 +259,9 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
   Shard& sh = shards_[st.shard];
   // Group-commit / cache-warmth regime: requests queued behind the core.
   const bool batched = host_.cpu().backlogged();
+  if (sh.batcher.has_value()) {
+    sh.batcher->begin_op(batched, static_cast<u64>(env.now()));
+  }
   if (sh.lsm.has_value()) sh.lsm->set_batched(batched);
   if (sh.pktstore.has_value()) sh.pktstore->set_batched(batched);
   storage::OpBreakdown bd;
@@ -385,13 +452,32 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
     emit(obs::Stage::persist, bd.persist_ns);
   }
 
+  // Durable mutations inside an open epoch ack only once the epoch's
+  // fences retire (group commit's correctness condition); reads and
+  // failures that never touched durable state respond immediately.
+  const bool mutation =
+      st.method == http::Method::put || st.method == http::Method::del;
+  const bool defer_ack =
+      mutation && sh.batcher.has_value() && sh.batcher->batching();
   {
     auto tx_span = tr.span(obs::Stage::tx);
     if (zero_copy_shard != nullptr) {
       respond_value_zero_copy(conn, *zero_copy_shard, st.key);
+    } else if (defer_ack) {
+      net::TcpConn* c = &conn;
+      sh.batcher->on_committed(
+          [this, c, status, body = std::move(resp_body)] {
+            // The connection may have closed while its ack was queued.
+            if (conns_.contains(c)) respond(*c, status, body);
+          });
     } else {
       respond(conn, status, resp_body);
     }
+  }
+  if (sh.batcher.has_value()) {
+    sh.batcher->end_op();
+    arm_epoch_watchdog(st.shard);
+    arm_epoch_drain_check(st.shard);
   }
   ops_++;
   obs::inc(sh.m_requests);

@@ -92,6 +92,13 @@ class KvServer {
     std::optional<pm::PmPool> store_pool;
     std::optional<storage::LsmStore> lsm;
     std::optional<core::PktStore> pktstore;
+    // Group/epoch commit for this shard's datapath (lsm and pktstore
+    // backends on a PM host): content fences deferred, publications
+    // withheld, acks released at epoch close. A deadline watchdog event
+    // closes an epoch whose request stream dried up, so deferred acks can
+    // never stall a closed-loop client.
+    std::optional<pm::FlushBatcher> batcher;
+    bool watchdog_armed = false;
     // raw_persist bump region (recycled; models the Fig.2 simple app).
     u64 raw_region = 0;
     u64 raw_off = 0;
@@ -124,6 +131,15 @@ class KvServer {
   };
 
   void on_accept(net::TcpConn& conn, u32 shard);
+  // Schedules (or re-schedules) the epoch-deadline close for `shard`'s
+  // open epoch; fires as pinned CPU work at open + max_deferral.
+  void arm_epoch_watchdog(u32 shard);
+  void epoch_watchdog_fire(u32 shard, u64 serial);
+  // Schedules a drain check at now + idle_close_ns: if no newer op has
+  // joined the shard's epoch by then, the burst drained (closed-loop
+  // clients are all blocked on the held acks) and the epoch closes
+  // without waiting out the full deadline. Stale checks no-op.
+  void arm_epoch_drain_check(u32 shard);
   void on_readable(net::TcpConn& conn);
   bool try_parse_head(ConnState& st);
   void dispatch(net::TcpConn& conn, ConnState& st);

@@ -37,6 +37,42 @@ void PSkipList::publish_next(u64 n, int level, u64 to) {
   dev_->persist(n + kOffTower + 8 * static_cast<u64>(level), 8);
 }
 
+bool PSkipList::is_fresh(u64 n) {
+  if (!batching()) return false;
+  if (fresh_serial_ != batcher_->epoch_serial()) {
+    fresh_.clear();
+    fresh_serial_ = batcher_->epoch_serial();
+  }
+  return fresh_.count(n) != 0;
+}
+
+void PSkipList::note_fresh(u64 n) {
+  if (fresh_serial_ != batcher_->epoch_serial()) {
+    fresh_.clear();
+    fresh_serial_ = batcher_->epoch_serial();
+  }
+  fresh_.insert(n);
+}
+
+void PSkipList::publish_word(u64 off, u64 value, bool fresh) {
+  if (batching()) {
+    if (fresh) {
+      // The target word lives in a node born this epoch: its line is
+      // plain epoch content, covered by the close's first fence, and the
+      // node itself only becomes reachable through a withheld publication
+      // that retires at the second fence — so an early drain of this word
+      // can never dangle.
+      dev_->store_u64(off, value);
+      batcher_->flush(off, 8);
+    } else {
+      batcher_->publish_u64(off, value);
+    }
+    return;
+  }
+  dev_->store_u64(off, value);
+  dev_->persist(off, 8);
+}
+
 int PSkipList::random_height() {
   int h = 1;
   while (h < kMaxHeight && dev_->env().rng.next_below(kBranching) == 0) h++;
@@ -110,6 +146,9 @@ Result<PSkipList> PSkipList::recover(pm::PmDevice& dev, pm::PmPool& pool,
 
 void PSkipList::rebuild_towers() {
   // Pass 1: walk level 0, unlinking dead nodes and counting/validating.
+  auto& clock = dev_->env().clock();
+  const SimTime start_ns = clock.now();
+  SimTime tower_ns = 0;
   u64 prev_at[kMaxHeight];
   for (auto& p : prev_at) p = head_;
   size_ = 0;
@@ -118,9 +157,12 @@ void PSkipList::rebuild_towers() {
   u64 prev0 = head_;
   u64 n = next_of(head_, 0);
   while (n != 0) {
+    // The backbone scan is a cold sequential read of PM-resident nodes.
+    clock.advance(dev_->env().cost.pm_read_ns);
     const u64 nxt = next_of(n, 0);
     if (is_dead(n)) {
-      // Physically unlink and reclaim.
+      // Physically unlink and reclaim. Repairs stay durable even in
+      // shadow mode: level 0 is the persistent backbone.
       publish_next(prev0, 0, nxt);
       pool_->free(n, node_bytes(node_height(n), static_cast<u32>(node_key(n).size())));
       n = nxt;
@@ -128,26 +170,45 @@ void PSkipList::rebuild_towers() {
     }
     const int h = node_height(n);
     if (h > height_) height_ = h;
-    // Relink every level of this node's tower.
+    // Relink every level of this node's tower. With DRAM-shadowed towers
+    // the links are raw memory writes; otherwise they are clwb'd hints.
+    const SimTime t0 = clock.now();
     for (int i = 1; i < h; i++) {
-      set_next(prev_at[i], i, n);
-      dev_->clwb(prev_at[i] + kOffTower + 8 * static_cast<u64>(i), 8);
-      prev_at[i] = n;
-      set_next(n, i, 0);
-      dev_->clwb(n + kOffTower + 8 * static_cast<u64>(i), 8);
+      if (opts_.shadow_towers) {
+        set_next_volatile(prev_at[i], i, n);
+        prev_at[i] = n;
+        set_next_volatile(n, i, 0);
+      } else {
+        set_next(prev_at[i], i, n);
+        dev_->clwb(prev_at[i] + kOffTower + 8 * static_cast<u64>(i), 8);
+        prev_at[i] = n;
+        set_next(n, i, 0);
+        dev_->clwb(n + kOffTower + 8 * static_cast<u64>(i), 8);
+      }
+      // Either way the rebuild pays a DRAM write per link.
+      clock.advance(dev_->env().cost.dram_read_ns);
     }
+    tower_ns += clock.now() - t0;
     size_++;
     prev0 = n;
     n = nxt;
   }
   // Terminate rebuilt towers above level 0 and at unused head levels.
+  const SimTime t1 = clock.now();
   for (int i = 1; i < kMaxHeight; i++) {
     if (prev_at[i] != head_ || next_of(head_, i) != 0) {
-      set_next(prev_at[i], i, 0);
-      dev_->clwb(prev_at[i] + kOffTower + 8 * static_cast<u64>(i), 8);
+      if (opts_.shadow_towers) {
+        set_next_volatile(prev_at[i], i, 0);
+      } else {
+        set_next(prev_at[i], i, 0);
+        dev_->clwb(prev_at[i] + kOffTower + 8 * static_cast<u64>(i), 8);
+      }
     }
   }
-  dev_->sfence();
+  if (!opts_.shadow_towers) dev_->sfence();
+  tower_ns += clock.now() - t1;
+  recover_stats_.tower_ns = tower_ns;
+  recover_stats_.scan_ns = (clock.now() - start_ns) - tower_ns;
 }
 
 Status PSkipList::put(std::string_view key, u64 payload, u64* old_payload) {
@@ -161,7 +222,10 @@ Status PSkipList::put(std::string_view key, u64 payload, u64* old_payload) {
       *old_payload = node_payload(found);
     }
     if (is_dead(found)) {
-      // Resurrect: republish payload, then clear the dead flag.
+      // Resurrect: republish payload, then clear the dead flag. Two
+      // dependent publications need an ordering point between them, so
+      // this cold path stays on direct device fences even mid-epoch
+      // (extra fences inside an open epoch are always safe).
       dev_->store_u64(found + kOffPayload, payload);
       dev_->persist(found + kOffPayload, 8);
       const u16 flags = 0;
@@ -170,8 +234,8 @@ Status PSkipList::put(std::string_view key, u64 payload, u64* old_payload) {
       dev_->persist(found + kOffFlags, 2);
       size_++;
     } else {
-      dev_->store_u64(found + kOffPayload, payload);
-      dev_->persist(found + kOffPayload, 8);
+      // Update linearizes on the 8-byte payload word.
+      publish_word(found + kOffPayload, payload, is_fresh(found));
     }
     return Errc::ok;
   }
@@ -197,19 +261,36 @@ Status PSkipList::put(std::string_view key, u64 payload, u64* old_payload) {
   }
   dev_->store(n + kOffTower + 8 * static_cast<u64>(h),
               std::span<const u8>(reinterpret_cast<const u8*>(key.data()), key.size()));
-  dev_->persist(n, bytes);
+  if (batching()) {
+    batcher_->persist(n, bytes);  // clwb now, fence at epoch close
+    note_fresh(n);
+  } else {
+    dev_->persist(n, bytes);
+  }
 
   if (h > height_) height_ = h;
 
   // 2. Linearization point: publish into level 0.
-  publish_next(prev[0], 0, n);
+  publish_word(prev[0] + kOffTower, n, is_fresh(prev[0]));
 
-  // 3. Shortcut levels (batched flushes, one fence).
-  for (int i = 1; i < h; i++) {
-    set_next(prev[i], i, n);
-    dev_->clwb(prev[i] + kOffTower + 8 * static_cast<u64>(i), 8);
+  // 3. Shortcut levels. DRAM-shadowed towers are raw writes — never
+  // flushed, never fenced; recovery rebuilds them from the backbone.
+  if (opts_.shadow_towers) {
+    for (int i = 1; i < h; i++) set_next_volatile(prev[i], i, n);
+  } else if (batching()) {
+    // Hints may drain unordered — recovery overwrites every tower.
+    for (int i = 1; i < h; i++) {
+      set_next(prev[i], i, n);
+      batcher_->flush(prev[i] + kOffTower + 8 * static_cast<u64>(i), 8);
+    }
+    if (h > 1) batcher_->fence();
+  } else {
+    for (int i = 1; i < h; i++) {
+      set_next(prev[i], i, n);
+      dev_->clwb(prev[i] + kOffTower + 8 * static_cast<u64>(i), 8);
+    }
+    if (h > 1) dev_->sfence();
   }
-  if (h > 1) dev_->sfence();
 
   size_++;
   return Errc::ok;
@@ -227,6 +308,35 @@ bool PSkipList::erase(std::string_view key) {
   const u64 n = find_greater_or_equal(key, prev);
   if (n == 0 || is_dead(n) || node_key(n) != key) return false;
 
+  const int h = node_height(n);
+  const u64 bytes = node_bytes(h, static_cast<u32>(key.size()));
+
+  if (batching()) {
+    // Batched erase linearizes on the *level-0 unlink* (one withheld
+    // 8-byte publication) instead of the dead flag: publishing a flag
+    // word inside a possibly-epoch-born node would race its birth
+    // content. The flag is set volatile for in-memory readers only; the
+    // node's block is quarantined past the epoch close so its bytes stay
+    // intact while a cut could still resolve the unlink either way.
+    if (next_of(prev[0], 0) == n) {
+      publish_word(prev[0] + kOffTower, next_of(n, 0), is_fresh(prev[0]));
+    }
+    const u16 flags = kDead;
+    std::memcpy(dev_->at(n + kOffFlags, 2), &flags, 2);
+    for (int i = h - 1; i >= 1; i--) {
+      if (next_of(prev[i], i) != n) continue;
+      if (opts_.shadow_towers) {
+        set_next_volatile(prev[i], i, next_of(n, i));
+      } else {
+        set_next(prev[i], i, next_of(n, i));
+        batcher_->flush(prev[i] + kOffTower + 8 * static_cast<u64>(i), 8);
+      }
+    }
+    batcher_->defer([pool = pool_, n, bytes] { pool->free(n, bytes); });
+    size_--;
+    return true;
+  }
+
   // 1. Linearization point: persist the dead flag.
   const u16 flags = kDead;
   dev_->store(n + kOffFlags,
@@ -234,10 +344,13 @@ bool PSkipList::erase(std::string_view key) {
   dev_->persist(n + kOffFlags, 2);
 
   // 2. Unlink top-down; each publish keeps the list consistent.
-  const int h = node_height(n);
   for (int i = h - 1; i >= 0; i--) {
     if (next_of(prev[i], i) == n) {
-      publish_next(prev[i], i, next_of(n, i));
+      if (i >= 1 && opts_.shadow_towers) {
+        set_next_volatile(prev[i], i, next_of(n, i));
+      } else {
+        publish_next(prev[i], i, next_of(n, i));
+      }
     }
   }
   pool_->free(n, node_bytes(h, static_cast<u32>(key.size())));

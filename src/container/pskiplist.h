@@ -23,9 +23,12 @@
 //   +16+8*height  key bytes
 #pragma once
 
+#include <cstring>
 #include <string_view>
+#include <unordered_set>
 
 #include "common/types.h"
+#include "pm/flush_batch.h"
 #include "pm/pm_device.h"
 #include "pm/pm_pool.h"
 
@@ -39,6 +42,14 @@ struct PSkipListOptions {
   // exactly why this fraction is low. The allocation charge is a
   // property of the PmPool (set_charges), not of the list.
   double cold_visit_p = 0.14;
+
+  // Selective persistence ("Don't Persist All"): keep only the level-0
+  // backbone persistent and shadow the upper towers in DRAM — tower
+  // updates are raw memory writes, never clwb'd, never fenced, and
+  // recovery rebuilds them deterministically from the backbone scan.
+  // A node's *birth* tower still rides along with its content persist
+  // (same lines, zero extra cost) as a rebuildable hint.
+  bool shadow_towers = pm::kGroupCommitCompiled;
 };
 
 class PSkipList {
@@ -102,6 +113,24 @@ class PSkipList {
   // stay cache-resident between consecutive operations).
   void set_warm(bool warm) noexcept { warm_ = warm; }
 
+  // Group-commit routing. With a batcher attached, while it is batching:
+  // publications into *durable* nodes are withheld (FlushBatcher
+  // publish_u64), mutations of nodes born in the open epoch stay ordinary
+  // content (re-flushed, covered by the epoch's first fence), node frees
+  // are quarantined past the epoch close, and the level-0 unlink — not
+  // the dead flag — is an erase's linearization point.
+  void set_batcher(pm::FlushBatcher* b) noexcept { batcher_ = b; }
+
+  // Recovery cost split of the last recover(): the level-0 backbone scan
+  // (including dead-node repair) vs. relinking the upper towers.
+  struct RecoverStats {
+    SimTime scan_ns = 0;
+    SimTime tower_ns = 0;
+  };
+  [[nodiscard]] const RecoverStats& recover_stats() const noexcept {
+    return recover_stats_;
+  }
+
   // Structural check: level-0 strictly sorted, towers point forward and
   // land on live reachable nodes. For tests.
   [[nodiscard]] Status validate() const;
@@ -125,8 +154,25 @@ class PSkipList {
   void set_next(u64 n, int level, u64 to) {
     dev_->store_u64(n + 16 + 8 * static_cast<u64>(level), to);
   }
+  // DRAM-shadow tower write: raw memory, no dirty tracking — the word can
+  // never drain to PM on its own, and it can never un-pend a content line
+  // that is in flight toward an epoch fence.
+  void set_next_volatile(u64 n, int level, u64 to) {
+    std::memcpy(dev_->at(n + 16 + 8 * static_cast<u64>(level), 8), &to, 8);
+  }
   // Publish one link durably (store + clwb + sfence).
   void publish_next(u64 n, int level, u64 to);
+  // Routes an 8-byte publication: withheld via the batcher for durable
+  // nodes, plain re-flushed content for epoch-born ones, legacy
+  // store+persist otherwise.
+  void publish_word(u64 off, u64 value, bool fresh);
+  [[nodiscard]] bool batching() const noexcept {
+    return batcher_ != nullptr && batcher_->batching();
+  }
+  // Nodes allocated in the still-open commit epoch (their content lines
+  // have not passed a fence yet). Lazily reset when the epoch changes.
+  bool is_fresh(u64 n);
+  void note_fresh(u64 n);
 
   int random_height();
   void charge_visits(u64 visits) const;
@@ -145,6 +191,10 @@ class PSkipList {
   std::size_t size_ = 0;
   mutable u64 last_visits_ = 0;
   bool warm_ = false;
+  pm::FlushBatcher* batcher_ = nullptr;
+  std::unordered_set<u64> fresh_;  // epoch-born nodes (volatile)
+  u64 fresh_serial_ = 0;
+  RecoverStats recover_stats_;
 };
 
 }  // namespace papm::container

@@ -19,7 +19,8 @@ PktStore PktStore::create(net::PktBufPool& pktpool, std::string_view name,
                           PktStoreOptions opts) {
   net::PmArena& arena = pm_arena_of(pktpool);
   auto index = container::PSkipList::create(arena.device(), arena.pool(),
-                                            std::string(name) + ".idx");
+                                            std::string(name) + ".idx",
+                                            opts.index);
   return PktStore(pktpool, arena, std::move(index), opts);
 }
 
@@ -28,7 +29,8 @@ Result<PktStore> PktStore::recover(net::PktBufPool& pktpool,
                                    PktStoreOptions opts) {
   net::PmArena& arena = pm_arena_of(pktpool);
   auto index = container::PSkipList::recover(arena.device(), arena.pool(),
-                                             std::string(name) + ".idx");
+                                             std::string(name) + ".idx",
+                                             opts.index);
   if (!index.ok()) return index.errc();
   PktStore store(pktpool, arena, std::move(index.value()), opts);
   // Re-register every live data buffer with the fresh packet pool.
@@ -40,6 +42,19 @@ Result<PktStore> PktStore::recover(net::PktBufPool& pktpool,
   });
   if (!st.ok()) return st.errc();
   return store;
+}
+
+void PktStore::retire_chain(u64 head) {
+  // A chain that was durably referenced by the index may still be the
+  // recovered value if the crash lands before this epoch's fence retires:
+  // quarantine its free until the epoch commits. Without batching (or for
+  // chains that never became durably reachable) the immediate free is safe.
+  pm::FlushBatcher* b = chain_.batcher();
+  if (b != nullptr && b->batching()) {
+    b->defer([chain = &chain_, head] { chain->free_chain(head); });
+  } else {
+    chain_.free_chain(head);
+  }
 }
 
 void PktStore::charge_prep(storage::OpBreakdown* bd) const {
@@ -73,10 +88,10 @@ Status PktStore::put_pkts(std::string_view key,
   const Status st = index_.put(key, head.value(), &old_head);
   if (bd != nullptr) bd->alloc_insert_ns += env.now() - t0;
   if (!st.ok()) {
-    chain_.free_chain(head.value());
+    chain_.free_chain(head.value());  // never indexed: immediate free is safe
     return st;
   }
-  if (old_head != 0) chain_.free_chain(old_head);
+  if (old_head != 0) retire_chain(old_head);
   return Errc::ok;
 }
 
@@ -93,10 +108,10 @@ Status PktStore::put_bytes(std::string_view key, std::span<const u8> value,
   const Status st = index_.put(key, head.value(), &old_head);
   if (bd != nullptr) bd->alloc_insert_ns += env.now() - t0;
   if (!st.ok()) {
-    chain_.free_chain(head.value());
+    chain_.free_chain(head.value());  // never indexed: immediate free is safe
     return st;
   }
-  if (old_head != 0) chain_.free_chain(old_head);
+  if (old_head != 0) retire_chain(old_head);
   return Errc::ok;
 }
 
@@ -145,7 +160,7 @@ bool PktStore::erase(std::string_view key) {
   const auto head = index_.get(key);
   if (!head.ok()) return false;
   if (!index_.erase(key)) return false;
-  chain_.free_chain(head.value());
+  retire_chain(head.value());
   return true;
 }
 

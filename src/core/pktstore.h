@@ -37,6 +37,10 @@ struct PktStoreOptions {
   // Charge the paper's lighter request handling (no LevelDB WriteBatch);
   // off = charge the baseline's full request-preparation cost.
   bool light_prep = true;
+  // Index policy (selective persistence: shadow_towers keeps upper skip
+  // list towers DRAM-only and rebuilds them at recovery). recover() must
+  // be called with the same options the store was created with.
+  container::PSkipListOptions index;
 };
 
 class PktStore {
@@ -100,9 +104,24 @@ class PktStore {
   [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
   [[nodiscard]] Status validate() const { return index_.validate(); }
 
+  // Recovery cost split of the index rebuild (backbone scan vs. tower
+  // relink) from the last recover() — see PSkipList::RecoverStats.
+  [[nodiscard]] const container::PSkipList::RecoverStats& index_recover_stats()
+      const noexcept {
+    return index_.recover_stats();
+  }
+
   // Back-to-back hint: warms the index traversal charging (the same
   // batching effect the baseline enjoys; keeps comparisons fair).
   void set_batched(bool b) noexcept { index_.set_warm(b); }
+
+  // Group-commit routing: value/metadata flushes and index publications
+  // ride the per-shard epoch fences; chain frees of durably-referenced
+  // heads are quarantined until their epoch retires.
+  void set_batcher(pm::FlushBatcher* b) noexcept {
+    chain_.set_batcher(b);
+    index_.set_batcher(b);
+  }
 
   // Mirrors op counts into a (per-shard) registry: store.puts /
   // store.gets / store.erases.
@@ -120,6 +139,7 @@ class PktStore {
         opts_(opts) {}
 
   [[nodiscard]] ValueMeta stat_of(u64 head) const;
+  void retire_chain(u64 head);
   [[nodiscard]] PChain::IngestOptions ingest_opts() const {
     return {opts_.reuse_checksum, opts_.reuse_timestamp, opts_.zero_copy,
             opts_.persistence};

@@ -25,12 +25,20 @@ PPktMeta* PChain::meta(u64 off) {
   return reinterpret_cast<PPktMeta*>(dev_->at(off, sizeof(PPktMeta)));
 }
 
+void PChain::persist_range(u64 off, u64 len) {
+  if (batcher_ != nullptr && batcher_->batching()) {
+    batcher_->persist(off, len);  // clwb now, fence at epoch close
+  } else {
+    dev_->persist(off, len);
+  }
+}
+
 Result<u64> PChain::alloc_meta(const PPktMeta& m) {
   auto off = pmpool_->alloc(sizeof(PPktMeta));
   if (!off.ok()) return off.errc();
   dev_->store(off.value(),
               std::span<const u8>(reinterpret_cast<const u8*>(&m), sizeof(m)));
-  dev_->persist(off.value(), sizeof(m));
+  persist_range(off.value(), sizeof(m));
   return off.value();
 }
 
@@ -109,7 +117,7 @@ Result<u64> PChain::ingest_pkts(std::span<net::PktBuf* const> pkts,
     {
       Phase p(env, bd != nullptr ? &bd->persist_ns : nullptr);
       if (opts.persistence) {
-        dev_->persist(m.data_off + m.val_off, m.val_len);
+        persist_range(m.data_off + m.val_off, m.val_len);
       }
     }
 
@@ -171,7 +179,7 @@ Result<u64> PChain::ingest_bytes(std::span<const u8> data,
     m.hw_tstamp = opts.reuse_timestamp ? env.now() : 0;
     {
       Phase p(env, bd != nullptr ? &bd->persist_ns : nullptr);
-      if (opts.persistence) dev_->persist(m.data_off + m.val_off, m.val_len);
+      if (opts.persistence) persist_range(m.data_off + m.val_off, m.val_len);
     }
     {
       Phase p(env, bd != nullptr ? &bd->alloc_insert_ns : nullptr);

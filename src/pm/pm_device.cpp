@@ -65,12 +65,15 @@ void PmDevice::mark_dirty(u64 offset, u64 len) {
 void PmDevice::set_metrics(obs::MetricRegistry* r) {
   if (r == nullptr) {
     m_clwb_ = m_sfence_ = m_bytes_flushed_ = nullptr;
+    m_sfence_deferred_ = m_clwb_coalesced_ = nullptr;
     m_dirty_hwm_ = m_pending_hwm_ = nullptr;
     return;
   }
   m_clwb_ = &r->counter("pm.clwb");
   m_sfence_ = &r->counter("pm.sfence");
   m_bytes_flushed_ = &r->counter("pm.bytes_flushed");
+  m_sfence_deferred_ = &r->counter("pm.sfence_deferred");
+  m_clwb_coalesced_ = &r->counter("pm.clwb_coalesced");
   m_dirty_hwm_ = &r->gauge("pm.dirty_lines_hwm");
   m_pending_hwm_ = &r->gauge("pm.pending_lines_hwm");
 }
@@ -106,10 +109,7 @@ void PmDevice::clwb(u64 offset, u64 len) {
 }
 
 void PmDevice::sfence() {
-  for (u64 line : pending_) {
-    std::memcpy(persisted_.data() + line * kCacheLine,
-                mem_.data() + line * kCacheLine, kCacheLine);
-  }
+  for (u64 line : pending_) drain_line_whole(line);
   if constexpr (obs::kEnabled) {
     epoch_.sfence++;
     epoch_.lines_drained += pending_.size();
@@ -136,19 +136,50 @@ u64 PmDevice::load_u64(u64 offset) const {
   return v;
 }
 
-void PmDevice::drain_line(u64 line, bool torn, Rng& rng) {
-  if (!torn) {
+void PmDevice::store_u64_deferred(u64 offset, u64 value) {
+  assert(offset % 8 == 0 && "store_u64_deferred must be aligned");
+  check_range(offset, 8);
+  // The volatile view forwards the value to loads immediately, but the
+  // word is withheld from every drain path until apply_deferred() — it is
+  // deliberately *not* marked dirty, so eviction cannot leak it either.
+  std::memcpy(mem_.data() + offset, &value, 8);
+  deferred_.insert(offset);
+}
+
+void PmDevice::apply_deferred(u64 offset) {
+  if (deferred_.erase(offset) == 0) return;
+  mark_dirty(offset, 8);
+  clwb(offset, 8);
+}
+
+void PmDevice::drain_line_whole(u64 line) {
+  if (deferred_.empty()) {
     std::memcpy(persisted_.data() + line * kCacheLine,
                 mem_.data() + line * kCacheLine, kCacheLine);
+    return;
+  }
+  for (u64 w = 0; w < kCacheLine / 8; w++) {
+    const u64 off = line * kCacheLine + w * 8;
+    if (deferred_.count(off) != 0) continue;  // withheld publication
+    std::memcpy(persisted_.data() + off, mem_.data() + off, 8);
+  }
+}
+
+void PmDevice::drain_line(u64 line, bool torn, Rng& rng) {
+  if (!torn) {
+    drain_line_whole(line);
     return;
   }
   // 8-byte persistence granularity: each aligned word independently made
   // it or didn't. store_u64 publications occupy exactly one word, so they
   // are never split — the atomicity contract crash-consistent code needs.
+  // Deferred publications never drain at all: the CPU had not released
+  // them from its (simulated) store buffer.
   for (u64 w = 0; w < kCacheLine / 8; w++) {
+    const u64 off = line * kCacheLine + w * 8;
+    if (deferred_.count(off) != 0) continue;
     if (rng.chance(0.5)) {
-      std::memcpy(persisted_.data() + line * kCacheLine + w * 8,
-                  mem_.data() + line * kCacheLine + w * 8, 8);
+      std::memcpy(persisted_.data() + off, mem_.data() + off, 8);
     }
   }
 }
@@ -176,7 +207,8 @@ void PmDevice::power_cut() {
   }
   pending_.clear();
   dirty_.clear();
-  mem_ = persisted_;
+  mem_ = persisted_;  // unapplied deferred publications revert with it
+  deferred_.clear();
 }
 
 void PmDevice::crash() {
@@ -188,14 +220,12 @@ void PmDevice::crash() {
   // Baseline semantics: clwb'd-but-unfenced lines raced the power loss;
   // each independently may or may not have drained.
   for (u64 line : pending_) {
-    if (env_.rng.chance(0.5)) {
-      std::memcpy(persisted_.data() + line * kCacheLine,
-                  mem_.data() + line * kCacheLine, kCacheLine);
-    }
+    if (env_.rng.chance(0.5)) drain_line_whole(line);
   }
   pending_.clear();
   dirty_.clear();
   mem_ = persisted_;
+  deferred_.clear();
 }
 
 Status PmDevice::set_root(std::string_view name, u64 offset) {

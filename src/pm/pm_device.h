@@ -102,6 +102,24 @@ class PmDevice {
   void store_u64(u64 offset, u64 value);
   [[nodiscard]] u64 load_u64(u64 offset) const;
 
+  // --- Deferred publication (group-commit store buffer) -----------------
+  /// An 8-byte atomic store that is *withheld* from persistence: the
+  /// volatile view updates immediately (loads forward the new value), but
+  /// the word is masked out of every drain path — sfence, unfenced drains,
+  /// tears and dirty-line evictions at a power cut — so the old persisted
+  /// value survives any crash until apply_deferred() re-injects the word
+  /// into the normal dirty→clwb→sfence pipeline. This is the mechanism
+  /// FlushBatcher uses to defer an epoch's publications past the fence
+  /// that makes the epoch's content durable: a deferred link can never
+  /// become durable ahead of the bytes it points at.
+  void store_u64_deferred(u64 offset, u64 value);
+  /// Releases a deferred word: removes the mask and marks + clwb's it so
+  /// the next sfence makes it durable. No-op for non-deferred offsets.
+  void apply_deferred(u64 offset);
+  [[nodiscard]] std::size_t deferred_words() const noexcept {
+    return deferred_.size();
+  }
+
   // --- Crash simulation -------------------------------------------------
   /// Simulates power loss: the volatile image reverts to the persisted one.
   /// clwb'd-but-unfenced lines each survive with probability 1/2 (drawn
@@ -141,6 +159,12 @@ class PmDevice {
     u64 bytes_flushed = 0;  // lines_drained * kCacheLine
     u64 dirty_hwm = 0;      // peak dirty (stored, un-clwb'd) line count
     u64 pending_hwm = 0;    // peak clwb'd-but-unfenced line count
+    // Group-commit accounting. Deferred fences are counted when the
+    // commit epoch that absorbed them *retires* (FlushBatcher::close),
+    // never when the op issued them — so sfence + sfence_deferred always
+    // reconciles against the ops the window actually completed.
+    u64 sfence_deferred = 0;  // fences absorbed by retired commit epochs
+    u64 clwb_coalesced = 0;   // clwb's skipped (line already in flight)
   };
   /// Starts a fresh accounting window (benches: call at the start of the
   /// measured region, read obs_epoch() at its end).
@@ -149,8 +173,35 @@ class PmDevice {
 
   /// Mirrors future flush/fence activity into `r` (per-shard registries
   /// merge at report time): counters pm.clwb / pm.sfence /
-  /// pm.bytes_flushed, gauges pm.dirty_lines_hwm / pm.pending_lines_hwm.
+  /// pm.bytes_flushed / pm.sfence_deferred / pm.clwb_coalesced, gauges
+  /// pm.dirty_lines_hwm / pm.pending_lines_hwm.
   void set_metrics(obs::MetricRegistry* r);
+
+  /// Group-commit bookkeeping hooks (called by FlushBatcher when a commit
+  /// epoch retires — attribution happens at retirement, not issue time).
+  void note_deferred_sfence(u64 n) noexcept {
+    if constexpr (obs::kEnabled) {
+      epoch_.sfence_deferred += n;
+      obs::inc(m_sfence_deferred_, n);
+    } else {
+      (void)n;
+    }
+  }
+  void note_coalesced_clwb(u64 n) noexcept {
+    if constexpr (obs::kEnabled) {
+      epoch_.clwb_coalesced += n;
+      obs::inc(m_clwb_coalesced_, n);
+    } else {
+      (void)n;
+    }
+  }
+
+  /// True when the line holding `offset` is clwb'd and still awaiting a
+  /// fence (and was not re-dirtied since) — the FlushBatcher coalesces a
+  /// repeat clwb of such a line away.
+  [[nodiscard]] bool line_in_flight(u64 offset) const noexcept {
+    return pending_.count(offset / kCacheLine) != 0;
+  }
 
   /// Lifetime flush statistics (for benches).
   [[nodiscard]] u64 total_clwb() const noexcept { return total_clwb_; }
@@ -206,8 +257,11 @@ class PmDevice {
   // image and reverts the volatile view (the power cut itself).
   void power_cut();
   // Drains `line` into the persisted image; torn = each aligned 8-byte
-  // word independently old or new.
+  // word independently old or new. Deferred-publication words are always
+  // masked out: they keep their persisted value on every drain path.
   void drain_line(u64 line, bool torn, Rng& rng);
+  // Whole-line drain with deferred-word masking (the sfence path).
+  void drain_line_whole(u64 line);
 
   sim::Env& env_;
   u64 size_;
@@ -215,6 +269,7 @@ class PmDevice {
   std::vector<u8> persisted_;  // what survives power loss
   std::unordered_set<u64> dirty_;    // line indices modified, not clwb'd
   std::unordered_set<u64> pending_;  // clwb'd, awaiting sfence
+  std::unordered_set<u64> deferred_;  // byte offsets of withheld 8B words
   std::optional<FaultPlan> plan_;
   u64 fault_events_ = 0;
   u64 total_clwb_ = 0;
@@ -225,6 +280,8 @@ class PmDevice {
   obs::Counter* m_clwb_ = nullptr;
   obs::Counter* m_sfence_ = nullptr;
   obs::Counter* m_bytes_flushed_ = nullptr;
+  obs::Counter* m_sfence_deferred_ = nullptr;
+  obs::Counter* m_clwb_coalesced_ = nullptr;
   obs::Gauge* m_dirty_hwm_ = nullptr;
   obs::Gauge* m_pending_hwm_ = nullptr;
 };

@@ -16,9 +16,13 @@ const PmPool::PoolHeader* PmPool::hdr() const {
       dev_->at(header_off_, sizeof(PoolHeader)));
 }
 
+u64 PmPool::field_offset(const void* field) const {
+  return static_cast<const u8*>(field) -
+         dev_->at(header_off_, sizeof(PoolHeader)) + header_off_;
+}
+
 void PmPool::persist_header_field(const void* field, u64 len) {
-  const u64 off = static_cast<const u8*>(field) -
-                  dev_->at(header_off_, sizeof(PoolHeader)) + header_off_;
+  const u64 off = field_offset(field);
   dev_->mark_dirty(off, len);
   dev_->persist(off, len);
 }
@@ -60,21 +64,44 @@ std::optional<std::size_t> PmPool::class_for(u64 size) noexcept {
 Result<u64> PmPool::alloc(u64 size) {
   if (size == 0) return Errc::invalid_argument;
   auto& env = dev_->env();
-  env.clock().advance(alloc_charge_ns_ >= 0 ? alloc_charge_ns_
-                                            : env.cost.pm_alloc_ns);
+  // In epoch mode a recycled block is a DRAM pop — charge the freelist-pop
+  // cost, not the user-space PM allocator's fence-bound cost.
+  env.clock().advance(in_epoch_ ? env.cost.pool_alloc_ns
+                      : alloc_charge_ns_ >= 0 ? alloc_charge_ns_
+                                              : env.cost.pm_alloc_ns);
 
   PoolHeader* h = hdr();
   const auto cls = class_for(size);
   if (cls.has_value()) {
-    const u64 head = h->free_heads[*cls];
-    if (head != 0) {
-      // Pop: read next link from the block, then publish the new head.
-      u64 next;
-      std::memcpy(&next, dev_->at(head, 8), 8);
-      h->free_heads[*cls] = next;
-      persist_header_field(&h->free_heads[*cls], 8);
-      allocated_bytes_ += kClassSizes[*cls];
-      return head;
+    if (in_epoch_) {
+      // Blocks freed this batching period recycle LIFO through DRAM.
+      if (!epoch_free_[*cls].empty()) {
+        const u64 off = epoch_free_[*cls].back();
+        epoch_free_[*cls].pop_back();
+        allocated_bytes_ += kClassSizes[*cls];
+        return off;
+      }
+      // Pop the shadow of the sealed chain: links are pre-seal durable
+      // and the durable head is zero, so nothing needs persisting.
+      const u64 head = shadow_heads_[*cls];
+      if (head != 0) {
+        u64 next;
+        std::memcpy(&next, dev_->at(head, 8), 8);
+        shadow_heads_[*cls] = next;
+        allocated_bytes_ += kClassSizes[*cls];
+        return head;
+      }
+    } else {
+      const u64 head = h->free_heads[*cls];
+      if (head != 0) {
+        // Pop: read next link from the block, then publish the new head.
+        u64 next;
+        std::memcpy(&next, dev_->at(head, 8), 8);
+        h->free_heads[*cls] = next;
+        persist_header_field(&h->free_heads[*cls], 8);
+        allocated_bytes_ += kClassSizes[*cls];
+        return head;
+      }
     }
   }
   // Carve from the bump region.
@@ -84,18 +111,38 @@ Result<u64> PmPool::alloc(u64 size) {
                                                    : u64{kCacheLine});
   if (at + block > h->base + h->span_len) return Errc::out_of_space;
   h->bump = at + block;
-  persist_header_field(&h->bump, 8);
+  if (in_epoch_) {
+    // The frontier must be durable before any publication that references
+    // space above it retires; flush_metadata() clwb's it before the
+    // epoch's first fence. Early drains are harmless: bump is monotonic,
+    // so a premature value only leaks.
+    dev_->mark_dirty(field_offset(&h->bump), 8);
+    meta_dirty_ = true;
+  } else {
+    persist_header_field(&h->bump, 8);
+  }
   allocated_bytes_ += block;
   return at;
 }
 
 void PmPool::free(u64 offset, u64 size) {
   auto& env = dev_->env();
-  env.clock().advance(free_charge_ns_ >= 0 ? free_charge_ns_
-                                           : env.cost.pm_free_ns);
+  env.clock().advance(in_epoch_ ? env.cost.pool_alloc_ns
+                      : free_charge_ns_ >= 0 ? free_charge_ns_
+                                             : env.cost.pm_free_ns);
 
   const auto cls = class_for(size);
   if (!cls.has_value()) return;  // large blocks are not recycled
+  if (in_epoch_) {
+    // Zero persist events: the block parks in DRAM until reuse (or until
+    // exit_commit_epoch links it back durably). A cut loses the whole
+    // free pool to the leak bound — durable heads are already sealed.
+    epoch_free_[*cls].push_back(offset);
+    if (allocated_bytes_ >= kClassSizes[*cls]) {
+      allocated_bytes_ -= kClassSizes[*cls];
+    }
+    return;
+  }
   PoolHeader* h = hdr();
   // Push: write next link into the block, persist it, then publish head.
   const u64 old_head = h->free_heads[*cls];
@@ -104,6 +151,69 @@ void PmPool::free(u64 offset, u64 size) {
   h->free_heads[*cls] = offset;
   persist_header_field(&h->free_heads[*cls], 8);
   if (allocated_bytes_ >= kClassSizes[*cls]) allocated_bytes_ -= kClassSizes[*cls];
+}
+
+bool PmPool::enter_commit_epoch() {
+  if (in_epoch_) return false;
+  in_epoch_ = true;
+  meta_dirty_ = false;
+  PoolHeader* h = hdr();
+  bool sealed = false;
+  for (std::size_t i = 0; i < kClassSizes.size(); i++) {
+    shadow_heads_[i] = h->free_heads[i];
+    epoch_free_[i].clear();
+    if (h->free_heads[i] != 0) {
+      // Durably zero the head so no chain block can be reached from PM
+      // while its re-used contents are in flight. The caller fences.
+      const u64 off = field_offset(&h->free_heads[i]);
+      dev_->store_u64(off, 0);
+      dev_->clwb(off, 8);
+      sealed = true;
+    }
+  }
+  return sealed;
+}
+
+void PmPool::exit_commit_epoch() {
+  if (!in_epoch_) return;
+  in_epoch_ = false;
+  PoolHeader* h = hdr();
+  if (meta_dirty_) {
+    dev_->clwb(field_offset(&h->bump), 8);
+    meta_dirty_ = false;
+  }
+  // Phase 1: link every DRAM-parked block onto its shadow chain.
+  bool links = false;
+  for (std::size_t i = 0; i < kClassSizes.size(); i++) {
+    u64 head = shadow_heads_[i];
+    for (const u64 off : epoch_free_[i]) {
+      dev_->store(off, std::span<const u8>(reinterpret_cast<const u8*>(&head), 8));
+      dev_->clwb(off, 8);
+      head = off;
+      links = true;
+    }
+    epoch_free_[i].clear();
+    shadow_heads_[i] = head;
+  }
+  if (links) dev_->sfence();
+  // Phase 2: republish the heads; links are durable first.
+  bool heads = false;
+  for (std::size_t i = 0; i < kClassSizes.size(); i++) {
+    if (h->free_heads[i] != shadow_heads_[i]) {
+      const u64 off = field_offset(&h->free_heads[i]);
+      dev_->store_u64(off, shadow_heads_[i]);
+      dev_->clwb(off, 8);
+      heads = true;
+    }
+  }
+  if (heads) dev_->sfence();
+}
+
+void PmPool::flush_metadata() {
+  if (!meta_dirty_) return;
+  PoolHeader* h = hdr();
+  dev_->clwb(field_offset(&h->bump), 8);
+  meta_dirty_ = false;
 }
 
 u64 PmPool::capacity() const noexcept {

@@ -13,11 +13,23 @@
 // caller publishing it into its own structure leaks that block (exactly
 // like PMDK's non-transactional allocations). `leaked_bytes()` lets tests
 // measure the leak bound; `recover()` re-attaches to an existing pool.
+// Group-commit integration (FlushBatcher): while the host is batching,
+// the pool runs in a *commit epoch*. On entry every non-empty durable
+// freelist head is sealed to zero (one clwb'd store per class; the
+// batcher fences once), so no durable head can ever point at a block
+// whose re-used contents are in flight. Mid-epoch, pops and frees recycle
+// through DRAM (a per-class vector of freed offsets plus a shadow of the
+// sealed chains) at zero persist events; only the bump frontier is kept
+// durable, clwb'd before each epoch's first fence so recovery never
+// re-hands-out space under published data. A cut while batching leaks the
+// free pool (durable heads are zero) but can never corrupt it. On exit
+// the DRAM state is written back: links first, fence, then heads, fence.
 #pragma once
 
 #include <array>
 #include <optional>
 #include <string_view>
+#include <vector>
 
 #include "common/types.h"
 #include "pm/pm_device.h"
@@ -77,6 +89,19 @@ class PmPool {
 
   PmDevice& device() noexcept { return *dev_; }
 
+  // --- Commit-epoch mode (driven by FlushBatcher) ----------------------
+  /// Seals the durable freelist heads to zero and snapshots them into the
+  /// DRAM shadow. Returns true if anything was clwb'd (the caller fences
+  /// once across all its pools). Idempotent.
+  bool enter_commit_epoch();
+  /// Writes the DRAM freelist state back to PM (links, fence, heads,
+  /// fence) and leaves epoch mode. Idempotent.
+  void exit_commit_epoch();
+  /// clwb's the bump frontier if it moved since the last flush; called by
+  /// the batcher before an epoch's first fence.
+  void flush_metadata();
+  [[nodiscard]] bool in_commit_epoch() const noexcept { return in_epoch_; }
+
  private:
   struct PoolHeader {
     u64 magic;
@@ -93,12 +118,19 @@ class PmPool {
   [[nodiscard]] const PoolHeader* hdr() const;
   [[nodiscard]] static std::optional<std::size_t> class_for(u64 size) noexcept;
   void persist_header_field(const void* field, u64 len);
+  [[nodiscard]] u64 field_offset(const void* field) const;
 
   PmDevice* dev_;
   u64 header_off_;
   u64 allocated_bytes_ = 0;
   SimTime alloc_charge_ns_ = -1;  // -1 = use cost model default
   SimTime free_charge_ns_ = -1;
+
+  // Commit-epoch state (all volatile; empty outside epoch mode).
+  bool in_epoch_ = false;
+  bool meta_dirty_ = false;  // bump moved since last flush_metadata()
+  std::array<u64, kClassSizes.size()> shadow_heads_{};
+  std::array<std::vector<u64>, kClassSizes.size()> epoch_free_;
 };
 
 }  // namespace papm::pm

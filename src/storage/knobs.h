@@ -4,6 +4,7 @@
 #pragma once
 
 #include "common/types.h"
+#include "pm/flush_batch.h"
 
 namespace papm::storage {
 
@@ -14,6 +15,11 @@ struct StoreKnobs {
   bool data_copy = true;     // copy payload into a store-owned PM buffer
   bool index_insert = true;  // PM allocation + persistent skip-list insert
   bool persistence = true;   // flush the value record's cache lines to PM
+
+  // Group/epoch-commit policy for the per-shard FlushBatcher (max epoch
+  // size, max ack deferral); enabled is AND'ed with the PAPM_GROUP_COMMIT
+  // compile switch and with HostCpu::backlogged() at runtime.
+  pm::GroupCommitPolicy group_commit;
 };
 
 // Simulated-nanosecond cost of each phase of one operation; filled when a

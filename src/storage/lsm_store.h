@@ -90,6 +90,15 @@ class LsmStore {
     if (active_.has_value()) active_->set_batched(b);
   }
 
+  // Group-commit routing for the active memtable and the WAL; survives
+  // rotation/compaction (fresh tables are re-attached). Frozen tables
+  // are only mutated by compact(), which stays on legacy fences.
+  void set_batcher(pm::FlushBatcher* b) noexcept {
+    batcher_ = b;
+    if (active_.has_value()) active_->set_batcher(b);
+    if (wal_.has_value()) wal_->set_batcher(b);
+  }
+
   // Mirrors op counts into a (per-shard) registry: store.puts /
   // store.gets / store.erases / store.rotations, plus the WAL's
   // wal.* counters when the log is enabled.
@@ -119,6 +128,7 @@ class LsmStore {
   pm::PmPool* pool_;
   std::string name_;
   LsmOptions opts_;
+  pm::FlushBatcher* batcher_ = nullptr;
   std::optional<Wal> wal_;
   std::optional<PmMemtable> active_;
   std::deque<PmMemtable> frozen_;  // newest at back

@@ -103,11 +103,16 @@ Status PmMemtable::put_impl(std::string_view key, std::span<const u8> value,
     }
   }
 
-  // Phase 5: persistence — flush the value record to PM.
+  // Phase 5: persistence — flush the value record to PM. Under group
+  // commit the clwb's issue now but the fence is the epoch's.
   {
     Phase p(env, bd != nullptr ? &bd->persist_ns : nullptr);
     if (knobs.persistence && rec != 0) {
-      dev_->persist(rec, record_bytes(value.size()));
+      if (batcher_ != nullptr && batcher_->batching()) {
+        batcher_->persist(rec, record_bytes(value.size()));
+      } else {
+        dev_->persist(rec, record_bytes(value.size()));
+      }
     }
   }
 
@@ -122,7 +127,15 @@ Status PmMemtable::put_impl(std::string_view key, std::span<const u8> value,
       if (old_rec != 0) {
         u32 old_len;
         std::memcpy(&old_len, dev_->at(old_rec, 4), 4);
-        pool_->free(old_rec, record_bytes(old_len));
+        const u64 old_bytes = record_bytes(old_len);
+        if (batcher_ != nullptr && batcher_->batching()) {
+          // The replaced record must survive until no cut can resolve the
+          // replacing publication to the old value — free past the close.
+          batcher_->defer(
+              [pool = pool_, old_rec, old_bytes] { pool->free(old_rec, old_bytes); });
+        } else {
+          pool_->free(old_rec, old_bytes);
+        }
       }
     }
     // No index: the scratch record is simply overwritten next time.
@@ -173,10 +186,16 @@ Result<PmMemtable::Entry> PmMemtable::lookup(std::string_view key) const {
 bool PmMemtable::erase(std::string_view key) {
   const auto rec = index_.get(key);
   if (!rec.ok()) return false;
-  if (!index_.erase(key)) return false;
   u32 vlen;
   std::memcpy(&vlen, dev_->at(rec.value(), 4), 4);
-  pool_->free(rec.value(), record_bytes(vlen));
+  if (!index_.erase(key)) return false;
+  const u64 rec_off = rec.value();
+  const u64 rec_bytes = record_bytes(vlen);
+  if (batcher_ != nullptr && batcher_->batching()) {
+    batcher_->defer([pool = pool_, rec_off, rec_bytes] { pool->free(rec_off, rec_bytes); });
+  } else {
+    pool_->free(rec_off, rec_bytes);
+  }
   return true;
 }
 

@@ -18,6 +18,7 @@
 #include "common/crc32c.h"
 #include "common/types.h"
 #include "obs/metrics.h"
+#include "pm/flush_batch.h"
 #include "pm/pm_device.h"
 
 namespace papm::storage {
@@ -54,6 +55,13 @@ class Wal {
   [[nodiscard]] u64 bytes_used() const;
   [[nodiscard]] u64 capacity() const;
 
+  // Group-commit routing: while the batcher is batching, an append's
+  // record clwb's ride the epoch's first fence and the tail pointer is a
+  // withheld publication retired by the second — write-ahead ordering is
+  // preserved per epoch instead of per record. append() then means
+  // "durable once the epoch the batcher acks in retires".
+  void set_batcher(pm::FlushBatcher* b) noexcept { batcher_ = b; }
+
   // Mirrors append/truncate activity into registry counters:
   // wal.appends / wal.append_bytes / wal.truncates.
   void set_metrics(obs::MetricRegistry* r) {
@@ -78,6 +86,7 @@ class Wal {
 
   pm::PmDevice* dev_;
   u64 header_off_;
+  pm::FlushBatcher* batcher_ = nullptr;
   obs::Counter* m_appends_ = nullptr;
   obs::Counter* m_append_bytes_ = nullptr;
   obs::Counter* m_truncates_ = nullptr;

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -30,6 +31,7 @@
 #include "crash_harness.h"
 #include "net/pktbuf.h"
 #include "pm/fault_plan.h"
+#include "pm/flush_batch.h"
 #include "pm/pm_device.h"
 #include "pm/pm_pool.h"
 #include "sim/env.h"
@@ -328,6 +330,242 @@ class PktStoreScenario final : public CrashScenario {
   std::optional<core::PktStore> store_;
 };
 
+// --- Group/epoch commit (mid-epoch power cuts) ---------------------------
+//
+// The harness's AckLog models exactly one in-flight op; a commit epoch
+// carries up to max_epoch_ops of them, all unacked until the epoch's
+// second fence retires. These scenarios therefore keep their own log —
+// committed_ holds ops whose on_committed callback ran (the ack boundary:
+// by then the epoch is durably retired), pending_ the ops of the open or
+// mid-close epoch — and verify the epoch-commit invariants directly:
+//
+//   * a committed op's effect survives exactly (I1);
+//   * every pending op resolves to old/new/absent independently, never a
+//     torn value or dangling link (I2; keys within one epoch are distinct
+//     by construction, so resolutions are independent);
+//   * recovery succeeds and is idempotent across a re-crash (I3, I4).
+//
+// The sweep cuts at every flush/fence boundary, which includes the epoch
+// close sequence itself: pool-metadata clwb, content fence, publication
+// applies, publication fence, and (at deactivation) the freelist restore.
+// Under -DPAPM_GROUP_COMMIT=OFF begin_op never enters the batched regime,
+// so the same scenarios degenerate to the legacy fence-per-op protocol.
+struct GroupOp {
+  enum Kind { kPut, kErase };
+  Kind kind;
+  std::string key;
+  std::vector<u8> val;
+};
+
+class GroupCommitLog {
+ public:
+  // Bracket: pend() before the backend op, then hand ack() to
+  // FlushBatcher::on_committed. Callbacks retire FIFO, matching the
+  // batcher's ack order.
+  void pend(GroupOp op) { pending_.push_back(std::move(op)); }
+  std::function<void()> ack() {
+    return [this] {
+      ASSERT_FALSE(pending_.empty()) << "ack without a pending op";
+      GroupOp op = std::move(pending_.front());
+      pending_.pop_front();
+      if (op.kind == GroupOp::kPut) {
+        committed_[op.key] = std::move(op.val);
+      } else {
+        committed_.erase(op.key);
+      }
+    };
+  }
+
+  void verify(const std::function<Result<std::vector<u8>>(
+                  const std::string&)>& get) const {
+    std::set<std::string> pending_keys;
+    for (const GroupOp& op : pending_) pending_keys.insert(op.key);
+    for (const auto& [key, val] : committed_) {
+      if (pending_keys.count(key) != 0) continue;
+      auto r = get(key);
+      ASSERT_TRUE(r.ok()) << "I1: acked key '" << key << "' lost ("
+                          << to_string(r.errc()) << ")";
+      EXPECT_EQ(r.value(), val) << "I1: acked value altered for '" << key
+                                << "'";
+    }
+    for (const GroupOp& op : pending_) {
+      const auto prior = committed_.find(op.key);
+      const bool has_prior = prior != committed_.end();
+      auto r = get(op.key);
+      if (op.kind == GroupOp::kPut) {
+        if (r.ok()) {
+          EXPECT_TRUE(r.value() == op.val ||
+                      (has_prior && r.value() == prior->second))
+              << "I2: torn/mixed value for in-epoch put '" << op.key << "'";
+        } else {
+          EXPECT_EQ(r.errc(), Errc::not_found)
+              << "I2: in-epoch put '" << op.key << "' read as corrupt";
+          EXPECT_FALSE(has_prior)
+              << "I1: in-epoch put '" << op.key << "' destroyed prior value";
+        }
+      } else {
+        if (r.ok()) {
+          ASSERT_TRUE(has_prior)
+              << "I2: in-epoch erase '" << op.key << "' resurrected a value";
+          EXPECT_EQ(r.value(), prior->second)
+              << "I2: in-epoch erase '" << op.key << "' left a torn value";
+        } else {
+          EXPECT_EQ(r.errc(), Errc::not_found);
+        }
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::vector<u8>> committed_;
+  std::deque<GroupOp> pending_;
+};
+
+// Three ops per epoch; the op sequence crosses epoch boundaries with an
+// overwrite, an erase and a resurrection so a cut can land between the
+// epochs that created and replaced a value. All keys within one epoch are
+// distinct.
+pm::GroupCommitPolicy crash_test_policy() {
+  pm::GroupCommitPolicy p;
+  p.max_epoch_ops = 3;
+  p.max_deferral_ns = 1'000'000'000;  // op count, never the deadline, closes
+  return p;
+}
+
+class GroupCommitLsmScenario final : public CrashScenario {
+ public:
+  void format(pm::PmDevice& dev) override {
+    pool_.emplace(pm::PmPool::create(dev, "pool", dev.data_base(), 1u << 20));
+    store_.emplace(storage::LsmStore::create(dev, *pool_, "db"));
+    batcher_.emplace(dev, crash_test_policy());
+    batcher_->register_pool(*pool_);
+    store_->set_batcher(&*batcher_);
+  }
+
+  void workload(pm::PmDevice&, AckLog&) override {
+    auto put = [&](std::size_t i, u64 tag, std::size_t len) {
+      auto val = value_of(tag, len);
+      batcher_->begin_op(true, 0);
+      log_.pend({GroupOp::kPut, key_of(i), val});
+      EXPECT_TRUE(store_->put(key_of(i), val).ok());
+      batcher_->on_committed(log_.ack());
+      batcher_->end_op();
+    };
+    auto erase = [&](std::size_t i) {
+      batcher_->begin_op(true, 0);
+      log_.pend({GroupOp::kErase, key_of(i), {}});
+      EXPECT_TRUE(store_->erase(key_of(i)).ok());
+      batcher_->on_committed(log_.ack());
+      batcher_->end_op();
+    };
+    // Epoch 1: three inserts. Epoch 2: insert + overwrite(k01) +
+    // erase(k02). Epoch 3: resurrect(k02) + two inserts. Then leave the
+    // batched regime (freelist restore, also swept).
+    for (std::size_t i = 0; i < 3; i++) put(i, i, 1024);
+    put(3, 3, 1024);
+    put(1, 100, 1024);
+    erase(2);
+    put(2, 101, 300);
+    const std::size_t extra = crashtest::exhaustive() ? 4 : 2;
+    for (std::size_t i = 0; i < extra; i++) put(4 + i, 50 + i, 1024);
+    batcher_->deactivate();
+  }
+
+  void verify(pm::PmDevice& dev, const AckLog&) override {
+    std::size_t first_entries = 0;
+    for (int round = 0; round < 2; round++) {
+      SCOPED_TRACE(round == 0 ? "first recovery" : "re-recovery after re-crash");
+      auto pool = pm::PmPool::recover(dev, "pool");
+      ASSERT_TRUE(pool.ok());
+      auto rec = storage::LsmStore::recover(dev, pool.value(), "db");
+      ASSERT_TRUE(rec.ok()) << "I3: recovery failed";
+      auto& store = rec.value();
+      log_.verify([&](const std::string& k) { return store.get(k); });
+      if (round == 0) {
+        first_entries = store.entries();
+        dev.crash();  // I4: idempotent re-recovery
+      } else {
+        EXPECT_EQ(store.entries(), first_entries) << "I4: state drifted";
+      }
+    }
+  }
+
+ private:
+  std::optional<pm::PmPool> pool_;
+  std::optional<storage::LsmStore> store_;
+  std::optional<pm::FlushBatcher> batcher_;
+  GroupCommitLog log_;
+};
+
+class GroupCommitPktScenario final : public CrashScenario {
+ public:
+  void format(pm::PmDevice& dev) override {
+    pool_.emplace(pm::PmPool::create(dev, "pkts", dev.data_base(), 1u << 20));
+    arena_.emplace(dev, *pool_);
+    pktpool_.emplace(dev.env(), *arena_);
+    store_.emplace(core::PktStore::create(*pktpool_, "db"));
+    batcher_.emplace(dev, crash_test_policy());
+    batcher_->register_pool(*pool_);
+    store_->set_batcher(&*batcher_);
+  }
+
+  void workload(pm::PmDevice&, AckLog&) override {
+    auto put = [&](std::size_t i, u64 tag, std::size_t len) {
+      auto val = value_of(tag, len);
+      batcher_->begin_op(true, 0);
+      log_.pend({GroupOp::kPut, key_of(i), val});
+      EXPECT_TRUE(store_->put_bytes(key_of(i), val).ok());
+      batcher_->on_committed(log_.ack());
+      batcher_->end_op();
+    };
+    auto erase = [&](std::size_t i) {
+      batcher_->begin_op(true, 0);
+      log_.pend({GroupOp::kErase, key_of(i), {}});
+      EXPECT_TRUE(store_->erase(key_of(i)));
+      batcher_->on_committed(log_.ack());
+      batcher_->end_op();
+    };
+    for (std::size_t i = 0; i < 3; i++) put(i, i + 40, 1024);
+    put(3, 43, 1024);
+    put(1, 140, 1024);  // overwrite: old chain quarantined past the close
+    erase(2);
+    put(2, 141, 300);
+    const std::size_t extra = crashtest::exhaustive() ? 4 : 2;
+    for (std::size_t i = 0; i < extra; i++) put(4 + i, 90 + i, 1024);
+    batcher_->deactivate();
+  }
+
+  void verify(pm::PmDevice& dev, const AckLog&) override {
+    std::size_t first_size = 0;
+    for (int round = 0; round < 2; round++) {
+      SCOPED_TRACE(round == 0 ? "first recovery" : "re-recovery after re-crash");
+      auto pool = pm::PmPool::recover(dev, "pkts");
+      ASSERT_TRUE(pool.ok());
+      net::PmArena arena(dev, pool.value());
+      net::PktBufPool pktpool(dev.env(), arena);
+      auto rec = core::PktStore::recover(pktpool, "db");
+      ASSERT_TRUE(rec.ok()) << "I3: recovery failed";
+      auto& store = rec.value();
+      EXPECT_TRUE(store.validate().ok()) << "I3: index invalid";
+      log_.verify([&](const std::string& k) { return store.get(k); });
+      if (round == 0) {
+        first_size = store.size();
+        dev.crash();
+      } else {
+        EXPECT_EQ(store.size(), first_size) << "I4: state drifted";
+      }
+    }
+  }
+
+ private:
+  std::optional<pm::PmPool> pool_;
+  std::optional<net::PmArena> arena_;
+  std::optional<net::PktBufPool> pktpool_;
+  std::optional<core::PktStore> store_;
+  std::optional<pm::FlushBatcher> batcher_;
+  GroupCommitLog log_;
+};
+
 // Two datapath shards, each with a private PmPool slice and skip list
 // (the PR-1 scale-out layout). Keys route by shard_of(); verification
 // recovers both shards, checks shard isolation, and checks the merged
@@ -454,6 +692,16 @@ TEST(CrashSweep, PktStore) {
 TEST(CrashSweep, ShardedSkipListsMergeIdempotent) {
   run_all_plans(2u << 20,
                 [] { return std::make_unique<ShardedIndexScenario>(); });
+}
+
+TEST(CrashSweep, GroupCommitLsmEpochBoundaries) {
+  run_all_plans(2u << 20,
+                [] { return std::make_unique<GroupCommitLsmScenario>(); });
+}
+
+TEST(CrashSweep, GroupCommitPktStoreEpochBoundaries) {
+  run_all_plans(2u << 20,
+                [] { return std::make_unique<GroupCommitPktScenario>(); });
 }
 
 // --- Satellite coverage ---------------------------------------------------

@@ -215,6 +215,46 @@ TEST_P(PSkipListFuzz, MatchesMapModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PSkipListFuzz, ::testing::Values(101, 202, 303));
 
+// Recovery-time regression guard for the selective-persistence split:
+// rebuilding the DRAM-shadowed towers must not blow up recovery. The
+// shadow-on recovery (backbone scan + volatile tower relink) has to stay
+// within 2x of the persist-everything baseline's recovery on the same
+// workload — in practice it is *faster*, since the baseline's rebuild
+// re-fences its tower links while the shadow rebuild writes DRAM only.
+TEST(PSkipListRecovery, ShadowTowerRebuildWithin2xOfBaseline) {
+  SimTime elapsed[2] = {0, 0};  // [shadow on, shadow off]
+  for (int shadow = 1; shadow >= 0; shadow--) {
+    sim::Env env;
+    pm::PmDevice dev(env, kDev);
+    auto pool = pm::PmPool::create(dev, "pool", dev.data_base(), kDev - 4096);
+    PSkipListOptions opts;
+    opts.shadow_towers = shadow == 1;
+    auto list = PSkipList::create(dev, pool, "index", opts);
+    for (int i = 0; i < 1500; i++) {
+      ASSERT_TRUE(list.put("key" + std::to_string(i), static_cast<u64>(i)).ok());
+    }
+    dev.crash();
+
+    auto pool2 = pm::PmPool::recover(dev, "pool");
+    ASSERT_TRUE(pool2.ok());
+    const SimTime t0 = env.now();
+    auto rec = PSkipList::recover(dev, pool2.value(), "index", opts);
+    elapsed[shadow] = env.now() - t0;
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->size(), 1500u);
+    EXPECT_TRUE(rec->validate().ok());
+    // The stats split must account for the whole recovery apart from the
+    // root lookup, and the tower phase must actually be attributed.
+    const auto& st = rec->recover_stats();
+    EXPECT_GT(st.scan_ns, 0);
+    EXPECT_GT(st.tower_ns, 0);
+    EXPECT_LE(st.scan_ns + st.tower_ns, elapsed[shadow]);
+  }
+  EXPECT_LE(elapsed[1], 2 * elapsed[0])
+      << "shadow-tower rebuild regressed recovery by more than 2x "
+      << "(shadow on: " << elapsed[1] << " ns, off: " << elapsed[0] << " ns)";
+}
+
 TEST_F(PSkipListTest, LogarithmicVisits) {
   for (int i = 0; i < 2000; i++) {
     ASSERT_TRUE(list.put("key" + std::to_string(i), static_cast<u64>(i)).ok());
