@@ -22,7 +22,11 @@ namespace papm::benchio {
 // Bump when the emitted record shape changes incompatibly.
 // v3: per-record flush-cost fields (clwb_per_op / sfence_per_op /
 //     bytes_flushed_per_op) — the group/epoch-commit persistence bill.
-inline constexpr long long kSchemaVersion = 3;
+// v4: open-loop / tail-latency fields (p50_us / p99_us / p999_us,
+//     deadline_miss_rate, offered_krps) and shard-balance fields
+//     (imbalance, bucket_moves, conns_migrated, indir_remaps). The v3
+//     flush fields remain unchanged alongside them.
+inline constexpr long long kSchemaVersion = 4;
 
 // Returns the value following `flag`, or empty if absent.
 inline std::string arg_value(int argc, char** argv, std::string_view flag) {

@@ -1,0 +1,165 @@
+// Open-loop O1: production load — Poisson arrivals, 1k-100k connections,
+// tail latency and deadline misses.
+//
+// The closed-loop benches (latency, scaling) measure a best case: every
+// connection politely waits for its response, so the server is never
+// offered more than it just finished. Production traffic is open-loop —
+// requests arrive when users click, at a rate that does not care how the
+// server is doing — and the numbers that matter are the tail (p99/p999
+// sojourn time, arrival to response including client-side queueing) and
+// the fraction of requests that blow their deadline.
+//
+// This bench sweeps the connection count at a fixed offered load (the
+// same krps spread over 1k vs 100k conns exercises very different RSS
+// spreads and per-flow burstiness) and reports p50/p99/p999, the
+// deadline-miss rate, and the server's shard-load imbalance. With
+// `--rebalance` the shard-load monitor remaps RSS indirection-table
+// entries at runtime, migrating flow groups (TCP + store residency) off
+// hot shards — the imbalance and tail columns show what that buys.
+//
+// Flags:
+//   --conns N        single-point run at N connections (default sweep)
+//   --rate RPS       aggregate offered load, req/s (default 100000)
+//   --seconds S      measurement window in simulated seconds (default 0.2)
+//   --deadline-us D  per-request deadline (default 200)
+//   --cores N        server cores / datapath shards (default 4)
+//   --backend B      discard | raw_persist | lsm | pktstore (default)
+//   --rebalance      enable the runtime shard-load rebalancer
+//   --quick          reduced sweep (1k, 10k) and a shorter window
+//   --metrics        print the merged metric registries after each point
+//   --json PATH      machine-readable records (schema v4); two runs with
+//                    the same flags are byte-identical
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "app/harness.h"
+#include "bench_json.h"
+
+using namespace papm;
+using namespace papm::app;
+
+namespace {
+
+struct Point {
+  int conns;
+  OpenLoopResult r;
+};
+
+Backend backend_from(const std::string& name) {
+  if (name == "discard") return Backend::discard;
+  if (name == "raw_persist") return Backend::raw_persist;
+  if (name == "lsm") return Backend::lsm;
+  return Backend::pktstore;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = benchio::json_path_from_args(argc, argv);
+  const bool quick = benchio::has_flag(argc, argv, "--quick");
+  const bool rebalance = benchio::has_flag(argc, argv, "--rebalance");
+  const bool want_metrics = benchio::has_flag(argc, argv, "--metrics");
+
+  const std::string conns_arg = benchio::arg_value(argc, argv, "--conns");
+  const std::string rate_arg = benchio::arg_value(argc, argv, "--rate");
+  const std::string seconds_arg = benchio::arg_value(argc, argv, "--seconds");
+  const std::string deadline_arg =
+      benchio::arg_value(argc, argv, "--deadline-us");
+  const std::string cores_arg = benchio::arg_value(argc, argv, "--cores");
+  const std::string backend_arg = benchio::arg_value(argc, argv, "--backend");
+
+  const double rate = rate_arg.empty() ? 100'000.0 : std::stod(rate_arg);
+  const double seconds =
+      seconds_arg.empty() ? (quick ? 0.05 : 0.2) : std::stod(seconds_arg);
+  const long long deadline_us =
+      deadline_arg.empty() ? 200 : std::stoll(deadline_arg);
+  const int cores = cores_arg.empty() ? 4 : std::stoi(cores_arg);
+  const Backend backend = backend_from(backend_arg);
+
+  std::vector<int> conns_sweep;
+  if (!conns_arg.empty()) {
+    conns_sweep.push_back(std::stoi(conns_arg));
+  } else if (quick) {
+    conns_sweep = {1'000, 10'000};
+  } else {
+    conns_sweep = {1'000, 10'000, 100'000};
+  }
+
+  std::printf("=== Open-loop O1: Poisson offered load, %.0f req/s, "
+              "deadline %lld us, %d server cores, backend %s%s ===\n",
+              rate, deadline_us, cores,
+              std::string(to_string(backend)).c_str(),
+              rebalance ? ", rebalancing ON" : "");
+  std::printf("%8s %9s %9s %8s %8s %8s %8s %9s %6s %9s\n", "conns",
+              "offered", "kreq/s", "p50[us]", "p99[us]", "p999[us]",
+              "miss%", "imbal", "moves", "cpu");
+
+  std::vector<Point> points;
+  for (const int conns : conns_sweep) {
+    OpenLoopRunConfig cfg;
+    cfg.backend = backend;
+    cfg.server_cores = cores;
+    cfg.pm_size = 1u << 30;
+    cfg.connections = conns;
+    cfg.rate_rps = rate;
+    cfg.deadline_ns = static_cast<SimTime>(deadline_us) * kNsPerUs;
+    cfg.warmup_ns = 50 * kNsPerMs;
+    cfg.measure_ns = static_cast<SimTime>(seconds * 1e9);
+    cfg.rebalance = rebalance;
+    cfg.collect_metrics = want_metrics;
+    const OpenLoopResult r = run_openloop(cfg);
+    std::printf("%8d %9.1f %9.1f %8.1f %8.1f %8.1f %7.2f%% %9.3f %6llu "
+                "%8.0f%%\n",
+                conns, r.offered_krps, r.kreq_per_s, r.p50_us(), r.p99_us(),
+                r.p999_us(), r.miss_rate * 100.0, r.imbalance,
+                static_cast<unsigned long long>(r.bucket_moves),
+                r.server_cpu_util * 100.0);
+    if (want_metrics) std::printf("%s\n", r.metrics_report.c_str());
+    points.push_back(Point{conns, r});
+  }
+
+  if (!json_path.empty()) {
+    benchio::JsonWriter w;
+    w.begin_object();
+    benchio::write_metadata(w, "openloop");
+    w.field("seed", 42LL);
+    w.field("rate_rps", rate);
+    w.field("deadline_us", deadline_us);
+    w.field("cores", static_cast<long long>(cores));
+    w.field("backend", to_string(backend));
+    w.field("rebalance", static_cast<long long>(rebalance ? 1 : 0));
+    w.field("measure_ns", static_cast<long long>(seconds * 1e9));
+    w.begin_array("results");
+    for (const Point& p : points) {
+      w.begin_object();
+      w.field("connections", static_cast<long long>(p.conns));
+      w.field("offered_krps", p.r.offered_krps);
+      w.field("kreq_per_s", p.r.kreq_per_s);
+      w.field("p50_us", p.r.p50_us());
+      w.field("p99_us", p.r.p99_us());
+      w.field("p999_us", p.r.p999_us());
+      w.field("mean_us", p.r.sojourn.mean() / 1000.0);
+      w.field("deadline_miss_rate", p.r.miss_rate);
+      w.field("arrivals", static_cast<long long>(p.r.arrivals));
+      w.field("completed", static_cast<long long>(p.r.completed));
+      w.field("errors", static_cast<long long>(p.r.errors));
+      w.field("server_cpu_util", p.r.server_cpu_util);
+      w.field("imbalance", p.r.imbalance);
+      w.field("bucket_moves", static_cast<long long>(p.r.bucket_moves));
+      w.field("conns_migrated", static_cast<long long>(p.r.conns_migrated));
+      w.field("indir_remaps", static_cast<long long>(p.r.indir_remaps));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (!w.write(json_path)) {
+      std::fprintf(stderr, "bench_openloop: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s (%zu records)\n", json_path.c_str(),
+                points.size());
+  }
+  return 0;
+}

@@ -35,7 +35,8 @@ struct Cell {
   RunResult r;
 };
 
-RunResult run_cell(Backend backend, int cores, int conns, SimTime measure) {
+RunResult run_cell(Backend backend, int cores, int conns, SimTime measure,
+                   bool rebalance) {
   RunConfig cfg;
   cfg.backend = backend;
   cfg.server_cores = cores;
@@ -46,6 +47,7 @@ RunResult run_cell(Backend backend, int cores, int conns, SimTime measure) {
   cfg.warmup_ns = 10 * kNsPerMs;
   cfg.measure_ns = measure;
   cfg.keyspace = 4096;
+  cfg.rebalance = rebalance;
   return run_experiment(cfg);
 }
 
@@ -55,6 +57,9 @@ int main(int argc, char** argv) {
   const std::string json_path = benchio::json_path_from_args(argc, argv);
   const bool quick = benchio::has_flag(argc, argv, "--quick");
   const bool want_metrics = benchio::has_flag(argc, argv, "--metrics");
+  // Runtime RSS rebalancing: the shard-load monitor remaps indirection-
+  // table entries during the run, migrating flow groups off hot shards.
+  const bool rebalance = benchio::has_flag(argc, argv, "--rebalance");
 
   const std::vector<int> cores_sweep = quick ? std::vector<int>{1, 4}
                                              : std::vector<int>{1, 2, 4, 8};
@@ -79,7 +84,8 @@ int main(int argc, char** argv) {
     for (const int cores : cores_sweep) {
       std::printf("%13d |", cores);
       for (std::size_t ci = 0; ci < conns_sweep.size(); ci++) {
-        const auto r = run_cell(backend, cores, conns_sweep[ci], measure);
+        const auto r =
+            run_cell(backend, cores, conns_sweep[ci], measure, rebalance);
         if (cores == 1) one_core[ci] = r.kreq_per_s;
         const double speedup =
             one_core[ci] > 0.0 ? r.kreq_per_s / one_core[ci] : 0.0;
@@ -113,6 +119,7 @@ int main(int argc, char** argv) {
     benchio::write_metadata(w, "scaling");
     w.field("seed", 42LL);
     w.field("measure_ns", static_cast<long long>(measure));
+    w.field("rebalance", static_cast<long long>(rebalance ? 1 : 0));
     w.begin_array("results");
     for (const Cell& c : cells) {
       w.begin_object();
@@ -128,6 +135,9 @@ int main(int argc, char** argv) {
       w.field("clwb", static_cast<long long>(c.r.flush.clwb));
       w.field("sfence", static_cast<long long>(c.r.flush.sfence));
       w.field("bytes_flushed", static_cast<long long>(c.r.flush.bytes_flushed));
+      w.field("imbalance", c.r.imbalance);
+      w.field("bucket_moves", static_cast<long long>(c.r.bucket_moves));
+      w.field("conns_migrated", static_cast<long long>(c.r.conns_migrated));
       w.end_object();
     }
     w.end_array();

@@ -6,7 +6,10 @@
 #   2. every registered metric must be documented — fails if a metric
 #      name registered in src/ (counter("...") / gauge("...") /
 #      histogram("...") — always string literals by convention, see
-#      src/obs/metrics.h) never appears in docs/OBSERVABILITY.md.
+#      src/obs/metrics.h) never appears in docs/OBSERVABILITY.md;
+#   3. every bench binary must have a section in docs/BENCHMARKS.md, and
+#      every JSON field a bench emits (w.field("...") — string literals
+#      by convention, see bench/bench_json.h) must be documented there.
 # Run from anywhere.
 set -euo pipefail
 
@@ -17,6 +20,26 @@ for src in bench/bench_*.cpp; do
   name="$(basename "$src" .cpp)"
   if ! grep -q "$name" EXPERIMENTS.md; then
     echo "check_docs: $src has no matching section in EXPERIMENTS.md" >&2
+    missing=1
+  fi
+done
+
+for src in bench/bench_*.cpp; do
+  name="$(basename "$src" .cpp)"
+  if ! grep -q "$name" docs/BENCHMARKS.md; then
+    echo "check_docs: $src has no matching section in docs/BENCHMARKS.md" >&2
+    missing=1
+  fi
+done
+
+# JSON fields the benches emit (string literals at the w.field sites,
+# including the shared metadata/flush helpers in bench_json.h). Any field
+# a --json file can contain must be documented in docs/BENCHMARKS.md.
+fields="$(grep -rhoE 'field\("[^"]+"' bench/ \
+  | sed -E 's/field\("([^"]+)".*/\1/' | sort -u)"
+for f in $fields; do
+  if ! grep -qF "\`$f\`" docs/BENCHMARKS.md; then
+    echo "check_docs: JSON field '$f' is not documented in docs/BENCHMARKS.md" >&2
     missing=1
   fi
 done
@@ -35,4 +58,4 @@ if [ "$missing" -ne 0 ]; then
   echo "check_docs: FAILED" >&2
   exit 1
 fi
-echo "check_docs: OK (all benches and metrics documented)"
+echo "check_docs: OK (all benches, JSON fields and metrics documented)"

@@ -22,6 +22,12 @@ cmake --preset default >/dev/null
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
+echo "== tier-1: open-loop smoke + determinism (byte-identical reruns) =="
+build/bench/bench_openloop --conns 1000 --seconds 1 --json build/openloop_a.json
+build/bench/bench_openloop --conns 1000 --seconds 1 --json build/openloop_b.json
+cmp build/openloop_a.json build/openloop_b.json
+echo "bench_openloop: reruns byte-identical"
+
 echo "== tier-1: ASan+UBSan build =="
 cmake --preset asan >/dev/null
 cmake --build build-asan -j

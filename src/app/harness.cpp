@@ -5,6 +5,25 @@ namespace papm::app {
 namespace {
 constexpr u32 kClientIp = 0x0a000001;
 constexpr u32 kServerIp = 0x0a000002;
+// Open-loop client hosts: 10.1.0.x, clear of the closed-loop pair above.
+constexpr u32 kOpenLoopClientBase = 0x0a010000;
+// Connections one client host may open (u16 ephemeral ports from 33000
+// leave ~32k; half that keeps a comfortable margin).
+constexpr int kMaxConnsPerClientHost = 16'000;
+
+// max/mean of the per-shard request counts (1.0 when even or trivial).
+double shard_imbalance(const std::vector<u64>& reqs) {
+  if (reqs.size() < 2) return 1.0;
+  u64 total = 0, peak = 0;
+  for (u64 r : reqs) {
+    total += r;
+    peak = std::max(peak, r);
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(reqs.size());
+  return static_cast<double>(peak) / mean;
+}
 }  // namespace
 
 RunResult run_experiment(const RunConfig& cfg) {
@@ -49,6 +68,12 @@ RunResult run_experiment(const RunConfig& cfg) {
   WrkClient client(client_host, ccfg);
   client.set_tracing(cfg.trace);
 
+  std::optional<Rebalancer> rebalancer;
+  if (cfg.rebalance && cfg.server_cores > 1) {
+    rebalancer.emplace(server_host, server, cfg.rebalance_cfg);
+    rebalancer->start();
+  }
+
   client.start();
   env.engine.run_until(cfg.warmup_ns);
   client.reset_stats();
@@ -76,6 +101,16 @@ RunResult run_experiment(const RunConfig& cfg) {
       static_cast<double>(cfg.measure_ns * std::max(1, cfg.server_cores));
   r.server_errors = server.errors() + client.http_errors();
   r.retransmits_hint = fabric.dropped();
+  for (u32 i = 0; i < server_host.datapaths(); i++) {
+    r.shard_requests.push_back(server.shard_requests(i));
+  }
+  r.imbalance = shard_imbalance(r.shard_requests);
+  if (rebalancer.has_value()) {
+    rebalancer->stop();
+    r.rebalance_rounds = rebalancer->rounds();
+    r.bucket_moves = rebalancer->bucket_moves();
+    r.conns_migrated = rebalancer->conns_moved();
+  }
 
   r.flush = server_host.pm_device().obs_epoch();
   if (cfg.collect_metrics) {
@@ -93,6 +128,147 @@ RunResult run_experiment(const RunConfig& cfg) {
     merged.merge_from(client.trace());
     r.attribution = obs::attribute(merged);
     r.trace_json = obs::chrome_trace_json(merged);
+  }
+  return r;
+}
+
+OpenLoopResult run_openloop(const OpenLoopRunConfig& cfg) {
+  sim::Env env;
+  env.cost = cfg.cost;
+  env.rng = Rng(cfg.seed);
+
+  nic::Fabric fabric(env, cfg.fabric);
+
+  HostConfig server_cfg;
+  server_cfg.ip = kServerIp;
+  server_cfg.cores = cfg.server_cores;
+  server_cfg.busy_poll = true;
+  server_cfg.pm_backed = true;
+  server_cfg.pm_size = cfg.pm_size;
+  server_cfg.nic = cfg.nic;
+  Host server_host(env, fabric, server_cfg);
+
+  ServerConfig scfg;
+  scfg.backend = cfg.backend;
+  scfg.knobs = cfg.knobs;
+  scfg.lsm_wal = cfg.lsm_wal;
+  scfg.pkt_opts = cfg.pkt_opts;
+  KvServer server(server_host, scfg);
+
+  // Big sweeps need their SYNs spread out and the warmup stretched to
+  // cover establishment: 100k handshakes cannot hide inside a 50 ms
+  // warmup, so the effective warmup grows with the connection count. The
+  // pacing matters as much as the stretch — at 2 µs/SYN the accept storm
+  // outruns 4 cores (each accept + SYN-ACK costs several µs on top of
+  // the offered request load), the backlog grows for the whole window,
+  // and the 1 ms initial RTO turns the un-drained queue into a
+  // retransmit flood that persists into measurement. 5 µs/SYN keeps the
+  // accept rate inside capacity, and the settling time scales with the
+  // window so whatever transient does form drains before stats reset.
+  // The measurement window itself is untouched.
+  const SimTime connect_window =
+      static_cast<SimTime>(cfg.connections) * 5 * kNsPerUs;
+  const SimTime warmup = std::max<SimTime>(
+      cfg.warmup_ns, connect_window + connect_window / 4 + 20 * kNsPerMs);
+
+  // Shard the client side: one host per ~16k connections (ephemeral-port
+  // space), each with its own IP and its own slice of the offered load.
+  const int n_hosts =
+      (cfg.connections + kMaxConnsPerClientHost - 1) / kMaxConnsPerClientHost;
+  std::vector<std::unique_ptr<Host>> client_hosts;
+  std::vector<std::unique_ptr<OpenLoopClient>> clients;
+  int assigned = 0;
+  for (int h = 0; h < n_hosts; h++) {
+    HostConfig chc;
+    chc.ip = kOpenLoopClientBase + static_cast<u32>(h);
+    chc.cores = 0;  // client machines are not the bottleneck
+    chc.busy_poll = false;
+    chc.nic = cfg.nic;
+    client_hosts.push_back(std::make_unique<Host>(env, fabric, chc));
+
+    const int remaining_hosts = n_hosts - h;
+    const int conns = (cfg.connections - assigned) / remaining_hosts;
+    assigned += conns;
+
+    OpenLoopConfig occ;
+    occ.server_ip = kServerIp;
+    occ.connections = conns;
+    occ.rate_rps = cfg.rate_rps * conns / std::max(1, cfg.connections);
+    occ.value_size = cfg.value_size;
+    occ.get_ratio = cfg.get_ratio;
+    occ.keyspace = cfg.keyspace;
+    occ.zipf_theta = cfg.zipf_theta;
+    occ.seed = cfg.seed + static_cast<u64>(h) * 86243;
+    occ.deadline_ns = cfg.deadline_ns;
+    occ.connect_window_ns = connect_window;
+    clients.push_back(
+        std::make_unique<OpenLoopClient>(*client_hosts.back(), occ));
+  }
+
+  std::optional<Rebalancer> rebalancer;
+  if (cfg.rebalance && cfg.server_cores > 1) {
+    rebalancer.emplace(server_host, server, cfg.rebalance_cfg);
+    rebalancer->start();
+  }
+
+  // Prime the whole keyspace (same per-key value convention as the
+  // generators) so measured GETs read real data instead of 404ing on a
+  // cold store. Priming is setup: it charges no simulated time.
+  for (u64 k = 0; k < cfg.keyspace; k++) {
+    Rng vr(cfg.seed * 1315423911ULL + k);
+    std::vector<u8> v(cfg.value_size);
+    for (auto& b : v) b = static_cast<u8>(vr.next());
+    server.prime("key" + std::to_string(k), v);
+  }
+
+  for (auto& c : clients) c->start();
+  env.engine.run_until(warmup);
+  for (auto& c : clients) c->reset_stats();
+  server.reset_stats();
+  server_host.reset_obs();
+  for (auto& ch : client_hosts) ch->reset_obs();
+  const SimTime busy_before = server_host.cpu().busy_ns();
+
+  env.engine.run_until(warmup + cfg.measure_ns);
+  for (auto& c : clients) c->stop();
+
+  OpenLoopResult r;
+  for (auto& c : clients) {
+    r.sojourn.merge_from(c->sojourns());
+    r.arrivals += c->arrivals();
+    r.completed += c->completed();
+    r.deadline_misses += c->deadline_misses();
+    r.errors += c->http_errors();
+  }
+  r.errors += server.errors();
+  r.miss_rate = r.completed > 0 ? static_cast<double>(r.deadline_misses) /
+                                      static_cast<double>(r.completed)
+                                : 0.0;
+  const double window_s = static_cast<double>(cfg.measure_ns) / 1e9;
+  r.kreq_per_s = static_cast<double>(r.completed) / window_s / 1000.0;
+  r.offered_krps = static_cast<double>(r.arrivals) / window_s / 1000.0;
+  r.server_cpu_util =
+      static_cast<double>(server_host.cpu().busy_ns() - busy_before) /
+      static_cast<double>(cfg.measure_ns * std::max(1, cfg.server_cores));
+  for (u32 i = 0; i < server_host.datapaths(); i++) {
+    r.shard_requests.push_back(server.shard_requests(i));
+  }
+  r.imbalance = shard_imbalance(r.shard_requests);
+  r.indir_remaps = server_host.nic().indir_remaps();
+  if (rebalancer.has_value()) {
+    rebalancer->stop();
+    r.rebalance_rounds = rebalancer->rounds();
+    r.bucket_moves = rebalancer->bucket_moves();
+    r.conns_migrated = rebalancer->conns_moved();
+  }
+  if (cfg.collect_metrics) {
+    const obs::MetricRegistry sm = server_host.merged_metrics();
+    obs::MetricRegistry cm;
+    for (auto& ch : client_hosts) cm.merge_from(ch->merged_metrics());
+    r.metrics_report =
+        "== server ==\n" + sm.report() + "== client ==\n" + cm.report();
+    r.metrics_json =
+        "{\"server\": " + sm.to_json() + ", \"client\": " + cm.to_json() + "}";
   }
   return r;
 }

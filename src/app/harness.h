@@ -7,6 +7,8 @@
 #pragma once
 
 #include "app/client.h"
+#include "app/openloop.h"
+#include "app/rebalance.h"
 #include "app/server.h"
 #include "nic/fabric.h"
 
@@ -33,6 +35,12 @@ struct RunConfig {
   SimTime warmup_ns = 20 * kNsPerMs;
   SimTime measure_ns = 200 * kNsPerMs;
 
+  // Scale-out rebalancing: run the shard-load monitor during the whole
+  // experiment (warmup included, so the table settles before the
+  // measurement window). No-op with one server core.
+  bool rebalance = false;
+  RebalanceConfig rebalance_cfg;
+
   // Environment.
   sim::CostModel cost;
   nic::Fabric::Options fabric;
@@ -54,6 +62,16 @@ struct RunResult {
   u64 server_errors = 0;
   u64 retransmits_hint = 0;  // fabric drops (loss experiments)
 
+  // Shard-load spread over the measurement window: requests dispatched
+  // per server shard, and max/mean of that vector (1.0 = perfectly even;
+  // the S1 rebalancing criterion is a >= 25% drop in this ratio).
+  std::vector<u64> shard_requests;
+  double imbalance = 1.0;
+  // Rebalancer activity (zeros when cfg.rebalance is off).
+  u64 rebalance_rounds = 0;
+  u64 bucket_moves = 0;
+  u64 conns_migrated = 0;
+
   // Observability results (populated per the RunConfig flags).
   obs::Attribution attribution{};       // per-stage means over the window
   pm::PmDevice::FlushEpoch flush{};     // clwb/sfence totals for the window
@@ -68,5 +86,81 @@ struct RunResult {
 };
 
 RunResult run_experiment(const RunConfig& cfg);
+
+// --- Open-loop (production load) experiments ------------------------------
+
+struct OpenLoopRunConfig {
+  // Server (same knobs as RunConfig).
+  Backend backend = Backend::pktstore;
+  storage::StoreKnobs knobs;
+  bool lsm_wal = false;
+  core::PktStoreOptions pkt_opts;
+  int server_cores = 4;
+  u64 pm_size = 512u << 20;
+
+  // Offered load.
+  int connections = 10'000;
+  double rate_rps = 200'000;  // aggregate Poisson arrival rate
+  std::size_t value_size = 512;
+  double get_ratio = 0.5;
+  u64 keyspace = 16384;
+  double zipf_theta = 0.0;
+  SimTime deadline_ns = kNsPerMs;
+
+  // Timing. Warmup must cover connection setup (the harness widens the
+  // connect window automatically for big sweeps).
+  SimTime warmup_ns = 50 * kNsPerMs;
+  SimTime measure_ns = 200 * kNsPerMs;
+
+  // Rebalancing (as in RunConfig).
+  bool rebalance = false;
+  RebalanceConfig rebalance_cfg;
+
+  // Environment.
+  sim::CostModel cost;
+  nic::Fabric::Options fabric;
+  nic::Nic::Options nic;
+  u64 seed = 42;
+  bool collect_metrics = false;
+};
+
+struct OpenLoopResult {
+  Stats sojourn;  // per-request sojourn times (arrival -> response), ns
+  u64 arrivals = 0;   // Poisson arrivals in the measurement window
+  u64 completed = 0;  // responses received in the window
+  u64 deadline_misses = 0;
+  double miss_rate = 0.0;  // deadline_misses / completed
+  double kreq_per_s = 0.0;
+  double offered_krps = 0.0;  // arrivals over the window, for comparison
+  u64 errors = 0;
+  double server_cpu_util = 0.0;
+
+  // Shard balance + rebalancer activity (see RunResult).
+  std::vector<u64> shard_requests;
+  double imbalance = 1.0;
+  u64 rebalance_rounds = 0;
+  u64 bucket_moves = 0;
+  u64 conns_migrated = 0;
+  u64 indir_remaps = 0;
+
+  std::string metrics_report;
+  std::string metrics_json;
+
+  [[nodiscard]] double p50_us() const {
+    return const_cast<Stats&>(sojourn).percentile(50) / 1000.0;
+  }
+  [[nodiscard]] double p99_us() const {
+    return const_cast<Stats&>(sojourn).percentile(99) / 1000.0;
+  }
+  [[nodiscard]] double p999_us() const {
+    return const_cast<Stats&>(sojourn).percentile(99.9) / 1000.0;
+  }
+};
+
+// Runs the two-machine testbed under open-loop load. Beyond ~16k
+// connections the client side is sharded across several hosts (distinct
+// IPs; the u16 ephemeral-port space caps one host) and their sample sets
+// merge into one distribution.
+OpenLoopResult run_openloop(const OpenLoopRunConfig& cfg);
 
 }  // namespace papm::app

@@ -228,6 +228,80 @@ void KvServer::arm_epoch_drain_check(u32 shard) {
       });
 }
 
+Status KvServer::normalize_pkts(ConnState& st) {
+  net::PktBufPool& pool = host_.pool(st.shard);
+  auto& env = host_.env();
+  for (net::PktBuf*& pb : st.pkts) {
+    if (pb->owner == &pool) continue;
+    net::PktBuf* np = pool.alloc(pb->len);
+    if (np == nullptr) return Errc::out_of_space;
+    env.clock().advance(env.cost.copy_cost(pb->len));
+    std::memcpy(pool.writable(*np, pb->len).data(), pb->owner->data(*pb),
+                pb->len);
+    pool.arena().mark_dirty(np->data_h, pb->len);
+    np->len = pb->len;
+    np->tstamp = pb->tstamp;
+    np->hw_tstamp = pb->hw_tstamp;
+    np->wire_csum = pb->wire_csum;
+    np->payload_csum = pb->payload_csum;
+    np->csum_verified = pb->csum_verified;
+    np->rss_hash = pb->rss_hash;
+    np->rss_queue = static_cast<u16>(st.shard);
+    np->l2_off = pb->l2_off;
+    np->l3_off = pb->l3_off;
+    np->l4_off = pb->l4_off;
+    np->payload_off = pb->payload_off;
+    np->l4_proto = pb->l4_proto;
+    np->ip = pb->ip;
+    np->tcp = pb->tcp;
+    net::PktBufPool::release(pb);
+    pb = np;
+  }
+  return Errc::ok;
+}
+
+void KvServer::on_flow_migrated(net::TcpConn& conn, u32 new_shard) {
+  auto it = conns_.find(&conn);
+  if (it == conns_.end() || new_shard >= shards_.size()) return;
+  // Buffered segments keep their old-pool buffers until dispatch
+  // normalizes them (pktstore) or reads them owner-routed (lsm/raw).
+  it->second.shard = new_shard;
+}
+
+bool KvServer::prime(std::string_view key, std::span<const u8> value) {
+  // Spread keys across shards with a seed-free FNV-1a so priming is
+  // deterministic across runs and builds (std::hash makes no such
+  // promise).
+  u64 h = 1469598103934665603ull;
+  for (const char c : key) h = (h ^ static_cast<u8>(c)) * 1099511628211ull;
+  Shard& sh = shards_[h % shards_.size()];
+  // Discard the charged store time: collect it into a scope the caller
+  // never reads, so the global clock (and the shard cores) stay put.
+  SimTime discarded = 0;
+  auto& clk = host_.env().clock();
+  clk.begin_scope(host_.env().now(), &discarded);
+  Status s = Errc::ok;
+  switch (cfg_.backend) {
+    case Backend::discard:
+    case Backend::raw_persist:
+      break;  // nothing to index; GETs are not served from these
+    case Backend::lsm:
+      s = sh.lsm->put(key, value, nullptr);
+      break;
+    case Backend::pktstore:
+      s = sh.pktstore->put_bytes(key, value, nullptr);
+      break;
+  }
+  clk.end_scope();
+  return s.ok();
+}
+
+void KvServer::close_epoch(u32 shard) {
+  Shard& sh = shards_[shard];
+  if (!sh.batcher.has_value() || !sh.batcher->epoch_open()) return;
+  host_.cpu().run_on(shard, [&sh] { sh.batcher->close(); });
+}
+
 void KvServer::on_readable(net::TcpConn& conn) {
   auto it = conns_.find(&conn);
   if (it == conns_.end()) return;
@@ -385,6 +459,14 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
 
     case Backend::pktstore: {
       if (st.method == http::Method::put) {
+        // A request that spanned a flow migration holds segments from the
+        // old shard's pool; re-home them before the chain adopts data.
+        if (!normalize_pkts(st).ok()) {
+          status = 507;
+          errors_++;
+          obs::inc(sh.m_errors);
+          break;
+        }
         // Zero-copy ingest: per-packet value ranges.
         std::vector<net::PktBuf*> pkts;
         std::vector<u32> offs, lens;
@@ -480,6 +562,7 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
     arm_epoch_drain_check(st.shard);
   }
   ops_++;
+  sh.requests++;
   obs::inc(sh.m_requests);
   if (st.rx_start != 0) obs::observe(sh.m_req_ns, env.now() - st.rx_start);
   if (bdp != nullptr) {

@@ -70,6 +70,33 @@ class KvServer {
   KvServer(Host& host, const ServerConfig& cfg);
 
   [[nodiscard]] u64 ops() const noexcept { return ops_; }
+  // Requests dispatched by one shard's pipeline — the per-shard load the
+  // rebalancer reports as the imbalance signal.
+  [[nodiscard]] u64 shard_requests(u32 shard) const noexcept {
+    return shard < shards_.size() ? shards_[shard].requests : 0;
+  }
+
+  // --- Flow-group migration hooks (app::Rebalancer) ---------------------
+  // Re-homes `conn`'s server-side state onto `new_shard`'s pipeline after
+  // its TCP state moved stacks (TcpStack::extract/adopt). Segments of a
+  // request in flight across the migration boundary still live in the old
+  // queue's packet pool; the pktstore PUT path copies those into the new
+  // shard's pool before ingest (normalize_pkts), so store residency moves
+  // with the flow.
+  void on_flow_migrated(net::TcpConn& conn, u32 new_shard);
+  // Retires `shard`'s open group-commit epoch as pinned CPU work. Called
+  // by the rebalancer before detaching a flow group so deferred
+  // publications and held acks drain on the source core — nothing is
+  // stranded behind an epoch whose requests migrated away.
+  void close_epoch(u32 shard);
+
+  // Loads a key directly into a shard store, bypassing the network path.
+  // The open-loop harness primes the whole keyspace this way so measured
+  // GETs read real data instead of 404ing on a cold store; the charged
+  // store time is discarded (priming is setup, not workload). No-op for
+  // backends without an index (discard, raw_persist).
+  bool prime(std::string_view key, std::span<const u8> value);
+
   [[nodiscard]] const storage::OpBreakdown& breakdown_sum() const noexcept {
     return breakdown_sum_;
   }
@@ -80,6 +107,7 @@ class KvServer {
     errors_ = 0;
     breakdown_sum_ = {};
     breakdown_ops_ = 0;
+    for (auto& sh : shards_) sh.requests = 0;
   }
 
  private:
@@ -102,6 +130,9 @@ class KvServer {
     // raw_persist bump region (recycled; models the Fig.2 simple app).
     u64 raw_region = 0;
     u64 raw_off = 0;
+    // Requests dispatched through this shard (load signal; plain counter
+    // so it exists even with observability compiled out).
+    u64 requests = 0;
     // Cached registrations in the shard's MetricRegistry.
     obs::Counter* m_requests = nullptr;
     obs::Counter* m_errors = nullptr;
@@ -142,6 +173,11 @@ class KvServer {
   void arm_epoch_drain_check(u32 shard);
   void on_readable(net::TcpConn& conn);
   bool try_parse_head(ConnState& st);
+  // Copies any buffered segment whose PktBuf came from another shard's
+  // pool into `st.shard`'s pool (a request spanning a migration). The
+  // pktstore chain adopts data into its own pool, so foreign buffers must
+  // not reach put_pkts. No-op for requests that never crossed shards.
+  Status normalize_pkts(ConnState& st);
   void dispatch(net::TcpConn& conn, ConnState& st);
   // GET routing: the shard holding `key`, preferring `home` (the ingress
   // shard, where RSS puts all of the key's PUTs from this client).

@@ -40,6 +40,16 @@ class Stats {
   // "(no samples)". For quick eyeballing in bench output.
   [[nodiscard]] std::string hist(int buckets = 10, int width = 40) const;
 
+  // Folds another collection's samples into this one. Multi-client-host
+  // sweeps (bench_openloop beyond the u16 ephemeral-port limit) merge
+  // per-host distributions into one before taking percentiles.
+  void merge_from(const Stats& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sum_ += other.sum_;
+    sorted_ = false;
+  }
+
   void clear() {
     samples_.clear();
     sum_ = 0;

@@ -93,6 +93,23 @@ Status TcpStack::listen(u16 port, std::function<void(TcpConn&)> on_accept) {
   return Errc::ok;
 }
 
+std::unique_ptr<TcpConn> TcpStack::extract(TcpConn* c) {
+  if (c == nullptr) return nullptr;
+  const FlowKey key{c->peer_ip_, c->peer_port_, c->local_port_};
+  auto it = conns_.find(key);
+  if (it == conns_.end() || it->second.get() != c) return nullptr;
+  std::unique_ptr<TcpConn> conn = std::move(it->second);
+  conns_.erase(it);
+  return conn;
+}
+
+void TcpStack::adopt(std::unique_ptr<TcpConn> conn) {
+  if (conn == nullptr) return;
+  conn->stack_ = this;  // timers and TX resolve the new stack from here on
+  const FlowKey key{conn->peer_ip_, conn->peer_port_, conn->local_port_};
+  conns_.emplace(key, std::move(conn));
+}
+
 void TcpStack::rx(PktBuf* pb) {
   run_cpu([&] { rx_locked(pb); });
 }
@@ -231,7 +248,7 @@ void TcpStack::output_pkt(TcpConn& c, PktBuf* pb, u8 flags, u32 seq, u32 ack,
 
 TcpConn::TcpConn(TcpStack& stack, u32 local_ip, u16 local_port, u32 peer_ip,
                  u16 peer_port)
-    : stack_(stack),
+    : stack_(&stack),
       local_ip_(local_ip),
       peer_ip_(peer_ip),
       local_port_(local_port),
@@ -243,8 +260,8 @@ void TcpConn::rx_listen_syn(PktBuf* pb) {
   rcv_nxt_ = h.seq + 1;
   snd_wnd_ = static_cast<u32>(h.window) << kWndShift;
 
-  iss_ = stack_.next_iss_;
-  stack_.next_iss_ += 1 << 20;
+  iss_ = stack_->next_iss_;
+  stack_->next_iss_ += 1 << 20;
   snd_una_ = iss_;
   snd_nxt_ = iss_ + 1;
   snd_buf_seq_ = snd_nxt_;
@@ -252,16 +269,16 @@ void TcpConn::rx_listen_syn(PktBuf* pb) {
   ssthresh_ = kInitSsthresh;
   state_ = TcpState::syn_rcvd;
 
-  stack_.charge_tx();
+  stack_->charge_tx();
   send_segment(kTcpSyn | kTcpAck, iss_, {}, /*queue_rtx=*/true);
-  stack_.pool().free(pb);
+  PktBufPool::release(pb);
 }
 
 void TcpConn::rx(PktBuf* pb) {
   const TcpHeader h = pb->tcp;
 
   if ((h.flags & kTcpRst) != 0) {
-    stack_.pool().free(pb);
+    PktBufPool::release(pb);
     become_closed();
     return;
   }
@@ -278,7 +295,7 @@ void TcpConn::rx(PktBuf* pb) {
         ack_pending_ = true;
         maybe_send_pending_ack();
       }
-      stack_.pool().free(pb);
+      PktBufPool::release(pb);
       return;
 
     case TcpState::syn_rcvd:
@@ -291,11 +308,11 @@ void TcpConn::rx(PktBuf* pb) {
           return;
         }
       }
-      stack_.pool().free(pb);
+      PktBufPool::release(pb);
       return;
 
     case TcpState::closed:
-      stack_.pool().free(pb);
+      PktBufPool::release(pb);
       return;
 
     default:
@@ -312,7 +329,7 @@ void TcpConn::rx(PktBuf* pb) {
       fin_received_ = true;
       fin_seq_ = h.seq;
     }
-    stack_.pool().free(pb);
+    PktBufPool::release(pb);
   }
 
   // Consume an in-order FIN once all data before it is delivered.
@@ -346,7 +363,7 @@ void TcpConn::process_ack(const TcpHeader& h) {
       RtxEntry& e = rtx_q_.front();
       if (!seq_ge(ack, e.seq + logical_len(e.len, e.flags))) break;
       if (!e.retransmitted) {
-        update_rtt(stack_.env().now() - e.sent_at);
+        update_rtt(stack_->env().now() - e.sent_at);
       }
       PktBufPool::release(e.clone);
       rtx_q_.pop_front();
@@ -382,12 +399,12 @@ void TcpConn::process_ack(const TcpHeader& h) {
       ssthresh_ = std::max(inflight / 2, static_cast<u32>(2 * kMss));
       cwnd_ = ssthresh_ + 3 * kMss;
       retransmits_++;
-      obs::inc(stack_.m_rtx_);
+      obs::inc(stack_->m_rtx_);
       e.retransmitted = true;
-      e.sent_at = stack_.env().now();
+      e.sent_at = stack_->env().now();
       PktBuf* copy = e.clone->owner->clone(*e.clone);
-      stack_.charge_tx();
-      stack_.output_pkt(*this, copy, e.flags, e.seq, rcv_nxt_, nullptr);
+      stack_->charge_tx();
+      stack_->output_pkt(*this, copy, e.flags, e.seq, rcv_nxt_, nullptr);
       arm_rto();
     }
   }
@@ -399,7 +416,7 @@ void TcpConn::rx_data(PktBuf* pb) {
   ack_pending_ = true;
 
   if (seq_le(seq + len, rcv_nxt_)) {
-    stack_.pool().free(pb);  // complete duplicate
+    PktBufPool::release(pb);  // complete duplicate
     return;
   }
   if (seq_lt(seq, rcv_nxt_)) {
@@ -420,11 +437,11 @@ void TcpConn::rx_data(PktBuf* pb) {
   // duplicates are dropped.
   pb->rb_key = pb->tcp.seq;
   if (ooo_tree_.find(pb->rb_key) != nullptr) {
-    stack_.pool().free(pb);
+    PktBufPool::release(pb);
     return;
   }
-  if (rcv_queued_ + ooo_tree_.size() * kMss > stack_.options().rcv_buf) {
-    stack_.pool().free(pb);  // no buffer space; sender will retransmit
+  if (rcv_queued_ + ooo_tree_.size() * kMss > stack_->options().rcv_buf) {
+    PktBufPool::release(pb);  // no buffer space; sender will retransmit
     return;
   }
   ooo_tree_.insert(*pb);
@@ -435,7 +452,7 @@ void TcpConn::deliver_in_order() {
     if (seq_gt(first->rb_key, rcv_nxt_)) break;
     ooo_tree_.erase(*first);
     if (seq_le(first->rb_key + first->payload_len(), rcv_nxt_)) {
-      stack_.pool().free(first);  // fully duplicate by now
+      PktBufPool::release(first);  // fully duplicate by now
       continue;
     }
     if (seq_lt(first->rb_key, rcv_nxt_)) {
@@ -455,7 +472,7 @@ Status TcpConn::send(std::span<const u8> data) {
   }
   if (fin_queued_) return Errc::invalid_argument;
   // User-to-kernel copy.
-  stack_.env().clock().advance(stack_.env().cost.copy_cost(data.size()));
+  stack_->env().clock().advance(stack_->env().cost.copy_cost(data.size()));
   snd_buf_.insert(snd_buf_.end(), data.begin(), data.end());
   try_send();
   return Errc::ok;
@@ -484,9 +501,9 @@ Status TcpConn::send_pkt(PktBuf* pb) {
   snd_nxt_ += len;
   snd_buf_seq_ = snd_nxt_;
   PktBuf* clone = nullptr;
-  stack_.charge_tx();
-  stack_.output_pkt(*this, pb, kTcpAck | kTcpPsh, seq, rcv_nxt_, &clone);
-  rtx_q_.push_back({clone, seq, len, kTcpAck | kTcpPsh, stack_.env().now(), false});
+  stack_->charge_tx();
+  stack_->output_pkt(*this, pb, kTcpAck | kTcpPsh, seq, rcv_nxt_, &clone);
+  rtx_q_.push_back({clone, seq, len, kTcpAck | kTcpPsh, stack_->env().now(), false});
   arm_rto();
   return Errc::ok;
 }
@@ -510,7 +527,7 @@ void TcpConn::try_send() {
     const u32 seq = snd_nxt_;
     snd_nxt_ += take;
     snd_buf_seq_ = snd_nxt_;
-    stack_.charge_tx();
+    stack_->charge_tx();
     send_segment(kTcpAck | kTcpPsh, seq, payload, /*queue_rtx=*/true);
   }
   // Queue the FIN once the send buffer drains.
@@ -520,7 +537,7 @@ void TcpConn::try_send() {
       fin_sent_ = true;
       const u32 seq = snd_nxt_;
       snd_nxt_ += 1;
-      stack_.charge_tx();
+      stack_->charge_tx();
       send_segment(kTcpFin | kTcpAck, seq, {}, /*queue_rtx=*/true);
     }
   }
@@ -531,9 +548,9 @@ void TcpConn::try_send() {
   if (snd_wnd_ == 0 && !snd_buf_.empty() && rtx_q_.empty()) {
     const u64 gen = ++rto_generation_;
     rto_armed_ = true;
-    stack_.env().engine.schedule_in(rto_, [this, gen] {
+    stack_->env().engine.schedule_in(rto_, [this, gen] {
       if (gen != rto_generation_) return;
-      stack_.run_cpu([this] {
+      stack_->run_cpu([this] {
         rto_armed_ = false;
         if (snd_wnd_ != 0 || snd_buf_.empty() || !rtx_q_.empty() ||
             state_ == TcpState::closed) {
@@ -545,7 +562,7 @@ void TcpConn::try_send() {
         const u32 seq = snd_nxt_;
         snd_nxt_ += 1;
         snd_buf_seq_ = snd_nxt_;
-        stack_.charge_tx();
+        stack_->charge_tx();
         send_segment(kTcpAck | kTcpPsh, seq, {&byte, 1}, /*queue_rtx=*/true);
       });
     });
@@ -555,17 +572,17 @@ void TcpConn::try_send() {
 void TcpConn::send_segment(u8 flags, u32 seq, std::span<const u8> payload,
                            bool queue_rtx) {
   PktBuf* clone = nullptr;
-  stack_.output(*this, flags, seq, rcv_nxt_, payload,
+  stack_->output(*this, flags, seq, rcv_nxt_, payload,
                 queue_rtx ? &clone : nullptr);
   if (queue_rtx && clone != nullptr) {
     rtx_q_.push_back({clone, seq, static_cast<u32>(payload.size()), flags,
-                      stack_.env().now(), false});
+                      stack_->env().now(), false});
     arm_rto();
   }
 }
 
 void TcpConn::send_ctl(u8 flags) {
-  stack_.output(*this, flags, snd_nxt_, rcv_nxt_, {}, nullptr);
+  stack_->output(*this, flags, snd_nxt_, rcv_nxt_, {}, nullptr);
 }
 
 void TcpConn::enter_established() {
@@ -578,10 +595,10 @@ void TcpConn::enter_established() {
 
 std::size_t TcpConn::read(std::span<u8> out) {
   std::size_t copied = 0;
-  auto& env = stack_.env();
+  auto& env = stack_->env();
   while (copied < out.size() && !rcv_q_.empty()) {
     PktBuf* pb = rcv_q_.front();
-    const auto payload = stack_.pool().payload(*pb);
+    const auto payload = pb->owner->payload(*pb);
     const std::size_t avail = payload.size() - rcv_consumed_front_;
     const std::size_t take = std::min(avail, out.size() - copied);
     std::memcpy(out.data() + copied, payload.data() + rcv_consumed_front_, take);
@@ -590,7 +607,7 @@ std::size_t TcpConn::read(std::span<u8> out) {
     if (rcv_consumed_front_ == payload.size()) {
       rcv_consumed_front_ = 0;
       rcv_q_.pop_front();
-      stack_.pool().free(pb);
+      PktBufPool::release(pb);
     }
   }
   rcv_queued_ -= copied;
@@ -636,7 +653,7 @@ void TcpConn::become_closed() {
   rtx_q_.clear();
   while (PktBuf* p = ooo_tree_.first()) {
     ooo_tree_.erase(*p);
-    stack_.pool().free(p);
+    PktBufPool::release(p);
   }
   if (on_closed) on_closed(*this);
 }
@@ -644,9 +661,9 @@ void TcpConn::become_closed() {
 void TcpConn::arm_rto() {
   const u64 gen = ++rto_generation_;
   rto_armed_ = true;
-  stack_.env().engine.schedule_in(rto_, [this, gen] {
+  stack_->env().engine.schedule_in(rto_, [this, gen] {
     if (gen != rto_generation_ || !rto_armed_) return;
-    stack_.run_cpu([this] { on_rto(); });
+    stack_->run_cpu([this] { on_rto(); });
   });
 }
 
@@ -655,9 +672,9 @@ void TcpConn::on_rto() {
   if (rtx_q_.empty() || state_ == TcpState::closed) return;
   RtxEntry& e = rtx_q_.front();
   retransmits_++;
-  obs::inc(stack_.m_rtx_);
+  obs::inc(stack_->m_rtx_);
   e.retransmitted = true;
-  e.sent_at = stack_.env().now();
+  e.sent_at = stack_->env().now();
   // Timeout: collapse the window, back off the timer (RFC 6298 5.5).
   const u32 inflight = snd_nxt_ - snd_una_;
   ssthresh_ = std::max(inflight / 2, static_cast<u32>(2 * kMss));
@@ -665,8 +682,8 @@ void TcpConn::on_rto() {
   dup_acks_ = 0;
   rto_ = std::min(rto_ * 2, kMaxRto);
   PktBuf* copy = e.clone->owner->clone(*e.clone);
-  stack_.charge_tx();
-  stack_.output_pkt(*this, copy, e.flags, e.seq, rcv_nxt_, nullptr);
+  stack_->charge_tx();
+  stack_->output_pkt(*this, copy, e.flags, e.seq, rcv_nxt_, nullptr);
   arm_rto();
 }
 
@@ -685,7 +702,7 @@ void TcpConn::update_rtt(SimTime sample) {
 
 void TcpConn::maybe_send_pending_ack() {
   if (!ack_pending_ || state_ == TcpState::closed) return;
-  stack_.charge_tx();
+  stack_->charge_tx();
   send_ctl(kTcpAck);
 }
 

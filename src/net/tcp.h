@@ -11,7 +11,14 @@
 //     payload-only checksum preserved in the packet metadata;
 //   * a zero-copy receive path (read_pkts) handing whole PktBufs —
 //     metadata, checksums, timestamps — to the application, the PASTE
-//     interface the proposal builds on; plus the classic copying read().
+//     interface the proposal builds on; plus the classic copying read();
+//   * connection migration between stacks (extract/adopt): on a
+//     multi-queue host every shard pins its own TcpStack, and RSS
+//     rebalancing re-steers a flow group to another queue — the flow's
+//     whole connection state (sequence space, rtx clones, receive and
+//     out-of-order queues, congestion state, armed timers) moves to the
+//     destination shard's stack in one step, so no in-flight segment is
+//     dropped or reordered across the handoff.
 //
 // Connections run over a NetIf (implemented by nic::Nic) and consume
 // host CPU through the cost model's per-segment stack charges.
@@ -147,7 +154,9 @@ class TcpConn {
   void maybe_send_pending_ack();
   void become_closed();
 
-  TcpStack& stack_;
+  // Owning stack; reseated by TcpStack::adopt when the connection
+  // migrates to another shard's stack (RSS rebalancing).
+  TcpStack* stack_;
   TcpState state_ = TcpState::closed;
   u32 local_ip_, peer_ip_;
   u16 local_port_, peer_port_;
@@ -232,6 +241,28 @@ class TcpStack {
   // Entry from the NIC. Takes ownership of the packet. Wraps all
   // processing (stack + application callbacks) in the host CPU.
   void rx(PktBuf* pb);
+
+  // --- Flow-group migration (RSS rebalancing) --------------------------
+  // Removes the connection from this stack and returns its full state —
+  // sequence space, retransmission clones, receive/out-of-order queues,
+  // congestion state — for adoption by another stack. Armed timers ride
+  // along: their callbacks resolve the owning stack at fire time.
+  // Returns null when the connection is not this stack's.
+  std::unique_ptr<TcpConn> extract(TcpConn* c);
+  // Installs a connection extracted from another stack: from here on its
+  // segments are found by this stack's demux, its timers charge this
+  // stack's pinned core and its transmissions ring this queue's
+  // doorbell. Queued packet buffers keep their original owner pool
+  // (every free in the connection is owner-routed).
+  void adopt(std::unique_ptr<TcpConn> conn);
+  // Iterates live connections (migration-group selection).
+  template <typename Fn>
+  void each_conn(Fn&& fn) {
+    for (auto& [key, c] : conns_) fn(*c);
+  }
+  [[nodiscard]] std::size_t conn_count() const noexcept {
+    return conns_.size();
+  }
 
   // Host CPU used for timer callbacks and rx processing; defaults to an
   // unlimited-cores CPU owned by the stack.

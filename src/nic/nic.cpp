@@ -53,12 +53,33 @@ Nic::Nic(sim::Env& env, Fabric& fabric, u32 ip, net::PktBufPool& pool,
   mac_.b[4] = static_cast<u8>(ip >> 8);
   mac_.b[5] = static_cast<u8>(ip);
   queues_.push_back(Queue{&pool, nullptr});
+  reset_indirection();
   fabric_.attach(ip, [this](WireFrame f) { on_frame(std::move(f)); });
 }
 
 u32 Nic::add_queue(net::PktBufPool& pool) {
   queues_.push_back(Queue{&pool, nullptr});
+  reset_indirection();
   return static_cast<u32>(queues_.size() - 1);
+}
+
+void Nic::reset_indirection() noexcept {
+  // Even spread. For power-of-two queue counts (every bench
+  // configuration) entry[h % 128] == h % queues, so the default table is
+  // bit-identical to the pre-table modulo steering.
+  for (u32 i = 0; i < kIndirEntries; i++) {
+    indir_[i] = static_cast<u16>(i % queues_.size());
+  }
+}
+
+void Nic::set_indirection(u32 bucket, u32 queue) {
+  const u32 b = bucket % kIndirEntries;
+  const u16 q = static_cast<u16>(
+      std::min<u32>(queue, static_cast<u32>(queues_.size()) - 1));
+  if (indir_[b] == q) return;
+  indir_[b] = q;
+  indir_remaps_++;
+  obs::inc(m_indir_remaps_);
 }
 
 void Nic::set_queue_sink(u32 queue, std::function<void(net::PktBuf*)> sink) {
@@ -170,13 +191,18 @@ void Nic::on_frame(WireFrame frame) {
     l4_hdr_len = net::kUdpHdrLen;
   }
 
-  // RSS steering: same flow -> same queue -> same core, always. Only the
-  // TCP hash type is enabled (like the testbed's default RSS config);
+  // RSS steering: hash -> indirection table -> queue. Same flow -> same
+  // queue -> same core until the table entry is remapped (and the remap
+  // migrates the flow group's TCP + store state with it). Only the TCP
+  // hash type is enabled (like the testbed's default RSS config);
   // datagrams land on queue 0, where the UDP stack polls.
   const u32 hash = rss_toeplitz(ip->src, ip->dst, l4.src_port, l4.dst_port);
-  const u32 q = ip->protocol == net::kIpProtoTcp
-                    ? hash % static_cast<u32>(queues_.size())
-                    : 0;
+  u32 q = 0;
+  if (ip->protocol == net::kIpProtoTcp) {
+    const u32 bucket = rss_bucket_of(hash);
+    bucket_rx_[bucket]++;
+    q = indir_[bucket];
+  }
   Queue& queue = queues_[q];
 
   // DMA into a pre-posted RX buffer of the chosen queue.

@@ -14,6 +14,17 @@
 // never crosses cores. Each queue pre-posts RX buffers from its *own*
 // PktBufPool and delivers to its own sink (one busy-polling core each).
 //
+// RSS *indirection table* (rebalancing): steering is a two-step lookup,
+// hash -> 128-entry table -> queue, exactly like real RSS engines
+// (ETHTOOL_SRXFHINDIR). The table starts at the even spread (entry i ->
+// i % queues — identical to hash % queues for the power-of-two queue
+// counts the benches use) and individual entries can be remapped at
+// runtime, moving a *flow group* (all flows hashing into that entry) to
+// another queue without touching the other 127 groups. Per-entry frame
+// counters feed the shard-load monitor (app::Rebalancer) that decides
+// when and what to move; the TCP-state handoff that must accompany a
+// remap lives in net::TcpStack::extract/adopt.
+//
 // Link serialization at wire_ns_per_byte models the 25 Gbit/s line rate;
 // frames from all TX queues share the single wire (link_free_at_).
 #pragma once
@@ -43,6 +54,16 @@ class Nic final : public net::NetIf {
  public:
   using Options = NicOptions;
 
+  // RSS indirection-table entries. 128 matches the common hardware
+  // default (i40e/ixgbe); a flow group is the set of flows whose hash
+  // lands in one entry.
+  static constexpr u32 kIndirEntries = 128;
+
+  // The indirection slot a 4-tuple hash selects.
+  [[nodiscard]] static constexpr u32 rss_bucket_of(u32 hash) noexcept {
+    return hash % kIndirEntries;
+  }
+
   // `pool` provides queue 0's RX buffers (pre-posted descriptors) and
   // owns TX packets handed to transmit(). Additional queues are grown
   // with add_queue() before traffic flows.
@@ -70,18 +91,37 @@ class Nic final : public net::NetIf {
     return static_cast<u32>(queues_.size());
   }
 
-  // RSS steering decision for a 4-tuple as received by this NIC.
+  // RSS steering decision for a 4-tuple as received by this NIC: the
+  // Toeplitz hash indexes the indirection table.
   [[nodiscard]] u32 rx_queue_for(u32 src_ip, u32 dst_ip, u16 src_port,
                                  u16 dst_port) const noexcept {
-    return rss_toeplitz(src_ip, dst_ip, src_port, dst_port) %
-           static_cast<u32>(queues_.size());
+    return indir_[rss_bucket_of(rss_toeplitz(src_ip, dst_ip, src_port,
+                                             dst_port))];
   }
 
-  // Mirrors device-level drop/error counters into a (host) registry:
-  // nic.rx_drops / nic.rx_csum_errors. Null = member counters only.
+  // --- Indirection table (runtime RSS rebalancing) ----------------------
+  // Remaps one flow group to `queue`. Takes effect for the next received
+  // frame; the caller owns migrating the flows' TCP + store state (see
+  // app::Rebalancer). Out-of-range queues are clamped.
+  void set_indirection(u32 bucket, u32 queue);
+  [[nodiscard]] u32 indirection(u32 bucket) const noexcept {
+    return indir_[bucket % kIndirEntries];
+  }
+  [[nodiscard]] u64 indir_remaps() const noexcept { return indir_remaps_; }
+
+  // Per-flow-group RX frame counts (TCP only — the steered traffic):
+  // the load signal the rebalancer differentiates between rounds.
+  [[nodiscard]] u64 bucket_rx_frames(u32 bucket) const noexcept {
+    return bucket_rx_[bucket % kIndirEntries];
+  }
+
+  // Mirrors device-level drop/error/remap counters into a (host)
+  // registry: nic.rx_drops / nic.rx_csum_errors / nic.indir_remaps.
+  // Null = member counters only.
   void set_metrics(obs::MetricRegistry* r) {
     m_rx_drops_ = r != nullptr ? &r->counter("nic.rx_drops") : nullptr;
     m_rx_csum_err_ = r != nullptr ? &r->counter("nic.rx_csum_errors") : nullptr;
+    m_indir_remaps_ = r != nullptr ? &r->counter("nic.indir_remaps") : nullptr;
   }
   // Mirrors one queue's frame counters into that queue's shard registry
   // as nic.rx_frames / nic.tx_frames (per-shard instances merge to the
@@ -115,6 +155,9 @@ class Nic final : public net::NetIf {
   };
 
   void on_frame(WireFrame frame);
+  // Restores the even default spread (entry i -> i % queues); called when
+  // the queue set grows so explicit remaps only exist once traffic flows.
+  void reset_indirection() noexcept;
 
   sim::Env& env_;
   Fabric& fabric_;
@@ -122,6 +165,9 @@ class Nic final : public net::NetIf {
   net::MacAddr mac_;
   Options opts_;
   std::vector<Queue> queues_;
+  u16 indir_[kIndirEntries] = {};
+  u64 bucket_rx_[kIndirEntries] = {};
+  u64 indir_remaps_ = 0;
   SimTime link_free_at_ = 0;
 
   u64 tx_frames_ = 0;
@@ -130,6 +176,7 @@ class Nic final : public net::NetIf {
   u64 rx_csum_errors_ = 0;
   obs::Counter* m_rx_drops_ = nullptr;
   obs::Counter* m_rx_csum_err_ = nullptr;
+  obs::Counter* m_indir_remaps_ = nullptr;
 };
 
 }  // namespace papm::nic

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace papm::obs {
@@ -9,9 +10,14 @@ u64 Histogram::quantile_upper(double q) const noexcept {
   if (count_ == 0) return 0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
-  // Nearest rank within the cumulative bucket counts.
-  u64 rank = static_cast<u64>(q * static_cast<double>(count_));
+  // Nearest rank within the cumulative bucket counts: ceil(q*N) clamped
+  // to [1, N] — the same convention as Stats::percentile, so a
+  // histogram-derived tail and an exact-sample tail agree on which
+  // sample the rank points at (the bucket bound is still an upper bound).
+  u64 rank = static_cast<u64>(
+      std::ceil(q * static_cast<double>(count_)));
   if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
   u64 cum = 0;
   for (int i = 0; i < kBuckets; i++) {
     cum += buckets_[i];
@@ -86,11 +92,13 @@ std::string MetricRegistry::report() const {
   });
   each_histogram([&](const std::string& n, const Histogram& h) {
     std::snprintf(buf, sizeof buf,
-                  "%-28s n=%-10llu mean=%-12.1f p50<=%-10llu p99<=%llu\n",
+                  "%-28s n=%-10llu mean=%-12.1f p50<=%-10llu p99<=%-10llu "
+                  "p999<=%llu\n",
                   n.c_str(), static_cast<unsigned long long>(h.count()),
                   h.mean(),
                   static_cast<unsigned long long>(h.quantile_upper(0.50)),
-                  static_cast<unsigned long long>(h.quantile_upper(0.99)));
+                  static_cast<unsigned long long>(h.quantile_upper(0.99)),
+                  static_cast<unsigned long long>(h.quantile_upper(0.999)));
     out += buf;
   });
   return out;
@@ -118,10 +126,15 @@ std::string MetricRegistry::to_json() const {
   first = true;
   each_histogram([&](const std::string& n, const Histogram& h) {
     std::snprintf(buf, sizeof buf,
-                  "%s\"%s\": {\"count\": %llu, \"sum\": %llu, \"mean\": %.6f}",
+                  "%s\"%s\": {\"count\": %llu, \"sum\": %llu, \"mean\": %.6f, "
+                  "\"p50_upper\": %llu, \"p99_upper\": %llu, "
+                  "\"p999_upper\": %llu}",
                   first ? "" : ", ", n.c_str(),
                   static_cast<unsigned long long>(h.count()),
-                  static_cast<unsigned long long>(h.sum()), h.mean());
+                  static_cast<unsigned long long>(h.sum()), h.mean(),
+                  static_cast<unsigned long long>(h.quantile_upper(0.50)),
+                  static_cast<unsigned long long>(h.quantile_upper(0.99)),
+                  static_cast<unsigned long long>(h.quantile_upper(0.999)));
     out += buf;
     first = false;
   });
