@@ -11,6 +11,9 @@
 // backends) and the full metric registries for the largest sweep point.
 // --json <path> writes the sweep as schema-v3 records, including the
 // per-op flush-cost fields.
+// --no-csum-offload disables the NIC checksum engines both ways, so the
+// software-checksum delta is measurable again.
+// --cost-model embeds the full calibrated cost model in the JSON record.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -23,6 +26,9 @@ using namespace papm::app;
 
 int main(int argc, char** argv) {
   const bool want_metrics = benchio::has_flag(argc, argv, "--metrics");
+  const bool no_csum_offload =
+      benchio::has_flag(argc, argv, "--no-csum-offload");
+  const bool want_cost_model = benchio::has_flag(argc, argv, "--cost-model");
   const std::string json_path = benchio::json_path_from_args(argc, argv);
   struct Cell {
     int conns;
@@ -52,6 +58,10 @@ int main(int argc, char** argv) {
     cfg.warmup_ns = 160 * kNsPerMs;
     cfg.measure_ns = 60 * kNsPerMs;
     cfg.keyspace = 4096;
+    if (no_csum_offload) {
+      cfg.nic.csum_offload_rx = false;
+      cfg.nic.csum_offload_tx = false;
+    }
 
     cfg.collect_metrics = want_metrics;
     cfg.backend = Backend::raw_persist;
@@ -94,6 +104,12 @@ int main(int argc, char** argv) {
     benchio::JsonWriter w;
     w.begin_object();
     benchio::write_metadata(w, "fig2");
+    w.field("csum_offload", no_csum_offload ? "off" : "on");
+    if (want_cost_model) {
+      w.begin_object("cost_model");
+      benchio::write_cost_model(w, sim::CostModel{});
+      w.end_object();
+    }
     w.begin_array("results");
     for (const auto& c : cells) {
       w.begin_object();

@@ -16,6 +16,7 @@
 
 #include "obs/metrics.h"
 #include "pm/pm_device.h"
+#include "sim/cost_model.h"
 
 namespace papm::benchio {
 
@@ -26,7 +27,11 @@ namespace papm::benchio {
 //     deadline_miss_rate, offered_krps) and shard-balance fields
 //     (imbalance, bucket_moves, conns_migrated, indir_remaps). The v3
 //     flush fields remain unchanged alongside them.
-inline constexpr long long kSchemaVersion = 4;
+// v5: optional `cost_model` nested object (write_cost_model, behind the
+//     --cost-model flag) recording every calibrated constant the run
+//     used, making BENCH_*.json self-describing without cost_model.h at
+//     the matching sha. Prior fields unchanged.
+inline constexpr long long kSchemaVersion = 5;
 
 // Returns the value following `flag`, or empty if absent.
 inline std::string arg_value(int argc, char** argv, std::string_view flag) {
@@ -53,6 +58,14 @@ inline bool has_flag(int argc, char** argv, std::string_view flag) {
 class JsonWriter {
  public:
   void begin_object() { open("{"); }
+  // Keyed nested object: `"key": {...}` (the cost_model block).
+  void begin_object(std::string_view key) {
+    pad();
+    out_ += '"';
+    out_ += key;
+    out_ += "\": {";
+    fresh_ = true;
+  }
   void end_object() { close("}"); }
   void begin_array(std::string_view key) {
     pad();
@@ -148,6 +161,67 @@ inline void write_flush_per_op(JsonWriter& w, const pm::PmDevice::FlushEpoch& f,
   w.field("clwb_per_op", static_cast<double>(f.clwb) / n);
   w.field("sfence_per_op", static_cast<double>(f.sfence) / n);
   w.field("bytes_flushed_per_op", static_cast<double>(f.bytes_flushed) / n);
+}
+
+// Emits every calibrated constant of the cost model the run used (the
+// schema-v5 `cost_model` nested object, behind each bench's --cost-model
+// flag). Caller brackets with begin_object("cost_model") / end_object().
+// Keep in sync with sim::CostModel — this is the self-description that
+// makes a BENCH_*.json reproducible without cost_model.h at its sha.
+inline void write_cost_model(JsonWriter& w, const sim::CostModel& c) {
+  w.field("dram_read_ns", static_cast<long long>(c.dram_read_ns));
+  w.field("pm_read_ns", static_cast<long long>(c.pm_read_ns));
+  w.field("dram_write_ns", static_cast<long long>(c.dram_write_ns));
+  w.field("pm_write_ns", static_cast<long long>(c.pm_write_ns));
+  w.field("clwb_ns", static_cast<long long>(c.clwb_ns));
+  w.field("sfence_ns", static_cast<long long>(c.sfence_ns));
+  w.field("crc32c_ns_per_byte", c.crc32c_ns_per_byte);
+  w.field("crc32c_fixed_ns", static_cast<long long>(c.crc32c_fixed_ns));
+  w.field("inet_csum_ns_per_byte", c.inet_csum_ns_per_byte);
+  w.field("inet_csum_fixed_ns", static_cast<long long>(c.inet_csum_fixed_ns));
+  w.field("copy_ns_per_byte", c.copy_ns_per_byte);
+  w.field("copy_fixed_ns", static_cast<long long>(c.copy_fixed_ns));
+  w.field("request_prep_ns", static_cast<long long>(c.request_prep_ns));
+  w.field("pktstore_prep_ns", static_cast<long long>(c.pktstore_prep_ns));
+  w.field("pm_alloc_ns", static_cast<long long>(c.pm_alloc_ns));
+  w.field("pm_free_ns", static_cast<long long>(c.pm_free_ns));
+  w.field("heap_alloc_ns", static_cast<long long>(c.heap_alloc_ns));
+  w.field("pool_alloc_ns", static_cast<long long>(c.pool_alloc_ns));
+  w.field("batched_prep_scale", c.batched_prep_scale);
+  w.field("batched_warm_scale", c.batched_warm_scale);
+  w.field("client_stack_tx_ns", static_cast<long long>(c.client_stack_tx_ns));
+  w.field("client_stack_rx_ns", static_cast<long long>(c.client_stack_rx_ns));
+  w.field("client_http_build_ns",
+          static_cast<long long>(c.client_http_build_ns));
+  w.field("client_http_parse_ns",
+          static_cast<long long>(c.client_http_parse_ns));
+  w.field("server_stack_rx_ns", static_cast<long long>(c.server_stack_rx_ns));
+  w.field("server_stack_tx_ns", static_cast<long long>(c.server_stack_tx_ns));
+  w.field("server_http_parse_ns",
+          static_cast<long long>(c.server_http_parse_ns));
+  w.field("server_http_build_ns",
+          static_cast<long long>(c.server_http_build_ns));
+  w.field("tcp_ack_process_ns", static_cast<long long>(c.tcp_ack_process_ns));
+  w.field("udp_stack_rx_ns", static_cast<long long>(c.udp_stack_rx_ns));
+  w.field("udp_stack_tx_ns", static_cast<long long>(c.udp_stack_tx_ns));
+  w.field("bypass_stack_rx_ns", static_cast<long long>(c.bypass_stack_rx_ns));
+  w.field("bypass_stack_tx_ns", static_cast<long long>(c.bypass_stack_tx_ns));
+  w.field("homa_proc_ns", static_cast<long long>(c.homa_proc_ns));
+  w.field("nic_tx_ns", static_cast<long long>(c.nic_tx_ns));
+  w.field("nic_rx_ns", static_cast<long long>(c.nic_rx_ns));
+  w.field("nic_csum_offload_ns",
+          static_cast<long long>(c.nic_csum_offload_ns));
+  w.field("nic_slice_host_ns", static_cast<long long>(c.nic_slice_host_ns));
+  w.field("nic_insert_doorbell_ns",
+          static_cast<long long>(c.nic_insert_doorbell_ns));
+  w.field("nic_insert_completion_ns",
+          static_cast<long long>(c.nic_insert_completion_ns));
+  w.field("nic_insert_cmd_ns", static_cast<long long>(c.nic_insert_cmd_ns));
+  w.field("nic_insert_meta_ns", static_cast<long long>(c.nic_insert_meta_ns));
+  w.field("wire_ns_per_byte", c.wire_ns_per_byte);
+  w.field("fabric_propagation_ns",
+          static_cast<long long>(c.fabric_propagation_ns));
+  w.field("net_scale", c.net_scale);
 }
 
 }  // namespace papm::benchio

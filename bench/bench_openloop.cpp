@@ -27,6 +27,8 @@
 //   --rebalance      enable the runtime shard-load rebalancer
 //   --quick          reduced sweep (1k, 10k) and a shorter window
 //   --metrics        print the merged metric registries after each point
+//   --no-csum-offload  disable the NIC checksum engines (software csum)
+//   --cost-model     embed the calibrated cost model in the JSON record
 //   --json PATH      machine-readable records (schema v4); two runs with
 //                    the same flags are byte-identical
 #include <cstdio>
@@ -60,6 +62,9 @@ int main(int argc, char** argv) {
   const bool quick = benchio::has_flag(argc, argv, "--quick");
   const bool rebalance = benchio::has_flag(argc, argv, "--rebalance");
   const bool want_metrics = benchio::has_flag(argc, argv, "--metrics");
+  const bool no_csum_offload =
+      benchio::has_flag(argc, argv, "--no-csum-offload");
+  const bool want_cost_model = benchio::has_flag(argc, argv, "--cost-model");
 
   const std::string conns_arg = benchio::arg_value(argc, argv, "--conns");
   const std::string rate_arg = benchio::arg_value(argc, argv, "--rate");
@@ -107,6 +112,10 @@ int main(int argc, char** argv) {
     cfg.warmup_ns = 50 * kNsPerMs;
     cfg.measure_ns = static_cast<SimTime>(seconds * 1e9);
     cfg.rebalance = rebalance;
+    if (no_csum_offload) {
+      cfg.nic.csum_offload_rx = false;
+      cfg.nic.csum_offload_tx = false;
+    }
     cfg.collect_metrics = want_metrics;
     const OpenLoopResult r = run_openloop(cfg);
     std::printf("%8d %9.1f %9.1f %8.1f %8.1f %8.1f %7.2f%% %9.3f %6llu "
@@ -130,6 +139,12 @@ int main(int argc, char** argv) {
     w.field("backend", to_string(backend));
     w.field("rebalance", static_cast<long long>(rebalance ? 1 : 0));
     w.field("measure_ns", static_cast<long long>(seconds * 1e9));
+    w.field("csum_offload", no_csum_offload ? "off" : "on");
+    if (want_cost_model) {
+      w.begin_object("cost_model");
+      benchio::write_cost_model(w, sim::CostModel{});
+      w.end_object();
+    }
     w.begin_array("results");
     for (const Point& p : points) {
       w.begin_object();

@@ -101,8 +101,9 @@ int main(int argc, char** argv) {
     const obs::Attribution& dat = discard.attribution;
     const double extra_ns =
         (at.mean_ns(obs::Stage::parse) - dat.mean_ns(obs::Stage::parse)) +
-        at.mean_ns(obs::Stage::checksum) + at.mean_ns(obs::Stage::copy) +
-        at.mean_ns(obs::Stage::alloc_index) + at.mean_ns(obs::Stage::persist);
+        at.mean_ns(obs::Stage::checksum) + at.mean_ns(obs::Stage::slice) +
+        at.mean_ns(obs::Stage::copy) + at.mean_ns(obs::Stage::alloc_index) +
+        at.mean_ns(obs::Stage::nic_insert) + at.mean_ns(obs::Stage::persist);
     const double reconstructed_us = discard.mean_rtt_us() + extra_ns / 1000.0;
     const double err =
         (reconstructed_us - lsm.mean_rtt_us()) / lsm.mean_rtt_us();

@@ -6,7 +6,9 @@
 # observability compiled out (-DPAPM_OBS=OFF) proving the kill switch
 # leaves the tree buildable and the tests green, and a fifth pass with
 # group commit compiled out (-DPAPM_GROUP_COMMIT=OFF) keeping the legacy
-# fence-per-op persistence path built and crash-tested. Also lints the docs
+# fence-per-op persistence path built and crash-tested, and a sixth pass
+# with the NIC slicer compiled out (-DPAPM_SLICER=OFF) proving the
+# pre-slicer RX path still builds and tests green. Also lints the docs
 # (every bench binary must have an EXPERIMENTS.md section; every
 # registered metric an entry in docs/OBSERVABILITY.md).
 # Run from the repository root.
@@ -28,6 +30,12 @@ build/bench/bench_openloop --conns 1000 --seconds 1 --json build/openloop_b.json
 cmp build/openloop_a.json build/openloop_b.json
 echo "bench_openloop: reruns byte-identical"
 
+echo "== tier-1: slicer smoke + determinism (byte-identical reruns) =="
+build/bench/bench_slicer --quick --json build/slicer_a.json
+build/bench/bench_slicer --quick --json build/slicer_b.json
+cmp build/slicer_a.json build/slicer_b.json
+echo "bench_slicer: reruns byte-identical"
+
 echo "== tier-1: ASan+UBSan build =="
 cmake --preset asan >/dev/null
 cmake --build build-asan -j
@@ -46,5 +54,10 @@ echo "== tier-1: PAPM_GROUP_COMMIT=OFF build (legacy fence-per-op path) =="
 cmake --preset nogc >/dev/null
 cmake --build build-nogc -j
 ctest --test-dir build-nogc --output-on-failure -j
+
+echo "== tier-1: PAPM_SLICER=OFF build (pre-slicer RX path) =="
+cmake --preset noslicer >/dev/null
+cmake --build build-noslicer -j
+ctest --test-dir build-noslicer --output-on-failure -j
 
 echo "== tier-1: OK =="

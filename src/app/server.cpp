@@ -236,8 +236,20 @@ Status KvServer::normalize_pkts(ConnState& st) {
     net::PktBuf* np = pool.alloc(pb->len);
     if (np == nullptr) return Errc::out_of_space;
     env.clock().advance(env.cost.copy_cost(pb->len));
-    std::memcpy(pool.writable(*np, pb->len).data(), pb->owner->data(*pb),
-                pb->len);
+    u8* dst = pool.writable(*np, pb->len).data();
+    if (pb->sliced()) {
+      // Materialize contiguously in this shard's pool: header bytes from
+      // the header block, payload from the slice. After a TCP trim,
+      // payload_off can exceed the header block's capacity — headers are
+      // never semantically read after parse, so copy what exists and
+      // leave the gap zero-filled.
+      const u32 hdr = std::min<u32>(pb->cap, pb->payload_off);
+      std::memcpy(dst, pb->owner->arena().data(pb->data_h, hdr), hdr);
+      const auto pl = pb->owner->payload(*pb);
+      std::memcpy(dst + pb->payload_off, pl.data(), pl.size());
+    } else {
+      std::memcpy(dst, pb->owner->data(*pb), pb->len);
+    }
     pool.arena().mark_dirty(np->data_h, pb->len);
     np->len = pb->len;
     np->tstamp = pb->tstamp;
@@ -529,8 +541,10 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
     };
     emit(obs::Stage::parse, bd.prep_ns);
     emit(obs::Stage::checksum, bd.checksum_ns);
+    emit(obs::Stage::slice, bd.slice_ns);
     emit(obs::Stage::copy, bd.copy_ns);
     emit(obs::Stage::alloc_index, bd.alloc_insert_ns);
+    emit(obs::Stage::nic_insert, bd.nic_insert_ns);
     emit(obs::Stage::persist, bd.persist_ns);
   }
 

@@ -29,6 +29,14 @@
 
 namespace papm::core {
 
+// Who executes the skip-list level-0 append for a sliced PUT: the host
+// CPU, the NIC's index engine (CARGO-style near-data insert, doorbell +
+// completion), or an automatic size-based choice. The engine's fixed
+// command cost beats the host only once the host-side per-byte work it
+// displaces (cold-line persists, per-segment appends) is large enough —
+// auto_ offloads values of at least nic_insert_min_bytes.
+enum class InsertPolicy : u8 { host = 0, nic = 1, auto_ = 2 };
+
 struct PktStoreOptions {
   bool reuse_checksum = true;
   bool reuse_timestamp = true;
@@ -37,6 +45,11 @@ struct PktStoreOptions {
   // Charge the paper's lighter request handling (no LevelDB WriteBatch);
   // off = charge the baseline's full request-preparation cost.
   bool light_prep = true;
+  // NIC index-engine offload policy. Only sliced, zero-copy PUTs are
+  // eligible (the engine operates on NIC-placed slots); ineligible PUTs
+  // fall back to the host path regardless of policy.
+  InsertPolicy insert = InsertPolicy::host;
+  u32 nic_insert_min_bytes = 2048;  // auto_ crossover threshold
   // Index policy (selective persistence: shadow_towers keeps upper skip
   // list towers DRAM-only and rebuilds them at recovery). recover() must
   // be called with the same options the store was created with.
@@ -129,6 +142,8 @@ class PktStore {
     m_puts_ = r != nullptr ? &r->counter("store.puts") : nullptr;
     m_gets_ = r != nullptr ? &r->counter("store.gets") : nullptr;
     m_erases_ = r != nullptr ? &r->counter("store.erases") : nullptr;
+    m_nic_inserts_ =
+        r != nullptr ? &r->counter("nic.inserts_offloaded") : nullptr;
   }
 
  private:
@@ -145,6 +160,14 @@ class PktStore {
             opts_.persistence};
   }
   void charge_prep(storage::OpBreakdown* bd) const;
+  // NIC index-engine variant of put_pkts: host pays doorbell + completion
+  // (and, un-batched, waits out the engine); ingest + insert execute with
+  // their charges diverted off the host clock.
+  Status put_pkts_offloaded(std::string_view key,
+                            std::span<net::PktBuf* const> pkts,
+                            std::span<const u32> offs,
+                            std::span<const u32> lens,
+                            storage::OpBreakdown* bd);
 
   mutable PChain chain_;
   container::PSkipList index_;
@@ -152,6 +175,7 @@ class PktStore {
   obs::Counter* m_puts_ = nullptr;
   obs::Counter* m_gets_ = nullptr;
   obs::Counter* m_erases_ = nullptr;
+  obs::Counter* m_nic_inserts_ = nullptr;
 };
 
 }  // namespace papm::core

@@ -66,15 +66,18 @@ Result<u64> PChain::ingest_pkts(std::span<net::PktBuf* const> pkts,
     m.next = next;
     m.total_len = idx == 0 ? total : 0;
 
+    // Payload view and the value's offset within it. For a sliced packet
+    // the span resolves into the NIC-placed slice block; for a contiguous
+    // packet it is the same pointer math as before the slicer.
+    const std::span<const u8> payload = pktpool_->payload(pb);
+    const u32 lead = offs[idx] - pb.payload_off;
+
     // Checksum: inherit the NIC word or recompute like the baseline.
     {
       Phase p(env, bd != nullptr ? &bd->checksum_ns : nullptr);
-      const u8* base = pktpool_->data(pb);
-      const std::span<const u8> payload(base + pb.payload_off, pb.payload_len());
       if (opts.reuse_checksum && pb.csum_verified) {
         // Narrow the NIC-provided payload checksum to the value slice,
         // touching only the bytes outside the value (§4.2).
-        const u32 lead = offs[idx] - pb.payload_off;
         const u32 trail =
             static_cast<u32>(payload.size()) - lead - lens[idx];
         env.clock().advance(env.cost.inet_csum_cost(lead + trail));
@@ -83,7 +86,7 @@ Result<u64> PChain::ingest_pkts(std::span<net::PktBuf* const> pkts,
       } else {
         env.clock().advance(env.cost.crc32c_cost(lens[idx]));
         m.csum_kind = static_cast<u16>(CsumKind::crc32c);
-        m.csum32 = crc32c(std::span<const u8>(base + offs[idx], lens[idx]));
+        m.csum32 = crc32c(payload.subspan(lead, lens[idx]));
       }
     }
 
@@ -92,10 +95,22 @@ Result<u64> PChain::ingest_pkts(std::span<net::PktBuf* const> pkts,
       m.hw_tstamp = pb.hw_tstamp;
     }
 
-    // Data: adopt in place, or copy out like the baseline.
+    // Sliced descriptor: completion bookkeeping + slot adoption cost.
+    if (pb.sliced()) {
+      Phase p(env, bd != nullptr ? &bd->slice_ns : nullptr);
+      env.clock().advance(env.cost.nic_slice_host_ns);
+    }
+
+    // Data: adopt in place, or copy out like the baseline. A sliced
+    // packet's value already sits in its final slot — adopt the slice.
+    const bool dma_durable = opts.zero_copy && pb.sliced();
     {
       Phase p(env, bd != nullptr ? &bd->copy_ns : nullptr);
-      if (opts.zero_copy) {
+      if (opts.zero_copy && pb.sliced()) {
+        m.data_off = pktpool_->adopt_slice(pb);
+        m.data_cap = pb.slice_cap;
+        m.val_off = pb.slice_off + lead;
+      } else if (opts.zero_copy) {
         m.data_off = pktpool_->adopt_data(pb);
         m.data_cap = pb.cap;
         m.val_off = offs[idx];
@@ -103,8 +118,7 @@ Result<u64> PChain::ingest_pkts(std::span<net::PktBuf* const> pkts,
         auto buf = pmpool_->alloc(lens[idx]);
         if (!buf.ok()) return buf.errc();
         env.clock().advance(env.cost.copy_cost(lens[idx]));
-        dev_->store(buf.value(),
-                    std::span<const u8>(pktpool_->data(pb) + offs[idx], lens[idx]));
+        dev_->store(buf.value(), payload.subspan(lead, lens[idx]));
         m.data_off = buf.value();
         m.data_cap = lens[idx];
         m.val_off = 0;
@@ -113,10 +127,12 @@ Result<u64> PChain::ingest_pkts(std::span<net::PktBuf* const> pkts,
       }
     }
 
-    // Persist the value bytes (DMA left them dirty in PM).
+    // Persist the value bytes (DMA left them dirty in PM) — unless the
+    // NIC's slicing DMA already made exactly these bytes durable on
+    // placement (dma_durable: adopted slice, nothing dirty to flush).
     {
       Phase p(env, bd != nullptr ? &bd->persist_ns : nullptr);
-      if (opts.persistence) {
+      if (opts.persistence && !dma_durable) {
         persist_range(m.data_off + m.val_off, m.val_len);
       }
     }

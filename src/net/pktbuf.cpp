@@ -1,6 +1,7 @@
 #include "net/pktbuf.h"
 
 #include <cassert>
+#include <cstring>
 
 namespace papm::net {
 
@@ -24,6 +25,10 @@ u8* HeapArena::data(u64 handle, u64 len) {
     throw std::out_of_range("HeapArena: bad handle or length");
   }
   return it->second.data();
+}
+
+void HeapArena::store_dma(u64 handle, std::span<const u8> data) {
+  std::memcpy(this->data(handle, data.size()), data.data(), data.size());
 }
 
 // --- PktBufPool --------------------------------------------------------------
@@ -70,6 +75,7 @@ PktBuf* PktBufPool::clone(const PktBuf& pb) {
   c->rb = container::RbHook{};
   c->in_use = true;
   ref_data(c->data_h);
+  if (c->sliced()) ref_data(c->slice_h);
   for (int i = 0; i < c->nr_frags; i++) ref_data(c->frags[i].data_h);
   live_meta_++;
   return c;
@@ -80,6 +86,9 @@ void PktBufPool::free(PktBuf* pb) {
   assert(pb->in_use);
   assert(pb->owner == this && "packet freed into a foreign pool shard");
   if (unref(pb->data_h)) arena_->free(pb->data_h, pb->cap);
+  if (pb->sliced() && unref(pb->slice_h)) {
+    arena_->free(pb->slice_h, pb->slice_cap);
+  }
   for (int i = 0; i < pb->nr_frags; i++) {
     if (unref(pb->frags[i].data_h)) {
       arena_->free(pb->frags[i].data_h, pb->frags[i].cap);
@@ -98,6 +107,23 @@ u64 PktBufPool::adopt_data(PktBuf& pb) {
 
 void PktBufPool::unref_data(u64 data_h, u32 cap) {
   if (unref(data_h)) arena_->free(data_h, cap);
+}
+
+bool PktBufPool::attach_slice(PktBuf& pb, u32 len) {
+  assert(pb.in_use && pb.slice_h == 0);
+  auto sh = arena_->alloc(len);
+  if (!sh.ok()) return false;
+  pb.slice_h = sh.value();
+  pb.slice_cap = len;
+  pb.slice_off = 0;
+  ref_data(pb.slice_h);
+  return true;
+}
+
+u64 PktBufPool::adopt_slice(PktBuf& pb) {
+  assert(pb.in_use && pb.sliced());
+  ref_data(pb.slice_h);
+  return pb.slice_h;
 }
 
 Status PktBufPool::add_frag(PktBuf& pb, u64 data_h, u32 len, u32 off, u32 cap) {

@@ -34,6 +34,16 @@
 
 namespace papm::net {
 
+// Compile-time kill switch for the NIC payload slicer + index-engine
+// offload (-DPAPM_SLICER=OFF → the `noslicer` preset). With the switch
+// off, PktBuf::sliced() is constant-false and every slice branch folds
+// away, keeping the pre-slicer datapath byte-identical.
+#ifdef PAPM_SLICER_DISABLED
+inline constexpr bool kSlicerCompiled = false;
+#else
+inline constexpr bool kSlicerCompiled = true;
+#endif
+
 // --- Buffer arenas ------------------------------------------------------
 
 class BufArena {
@@ -54,6 +64,11 @@ class BufArena {
   // Persistence hooks; no-ops for DRAM arenas.
   virtual void mark_dirty(u64 /*handle*/, u64 /*len*/) {}
   virtual void persist(u64 /*handle*/, u64 /*len*/) {}
+
+  // Device-DMA store into the block: on a PM arena the bytes are durable
+  // on return (PmDevice::store_dma); on DRAM it is a plain copy. Used by
+  // the NIC slicer to place payloads in their final slot.
+  virtual void store_dma(u64 handle, std::span<const u8> data) = 0;
 };
 
 // DRAM-backed arena: the ordinary kernel packet allocator.
@@ -65,6 +80,7 @@ class HeapArena final : public BufArena {
   void free(u64 handle, u64 size) override;
   [[nodiscard]] u8* data(u64 handle, u64 len) override;
   [[nodiscard]] bool persistent() const noexcept override { return false; }
+  void store_dma(u64 handle, std::span<const u8> data) override;
 
  private:
   sim::Env* env_;
@@ -87,6 +103,9 @@ class PmArena final : public BufArena {
   [[nodiscard]] bool persistent() const noexcept override { return true; }
   void mark_dirty(u64 handle, u64 len) override { dev_->mark_dirty(handle, len); }
   void persist(u64 handle, u64 len) override { dev_->persist(handle, len); }
+  void store_dma(u64 handle, std::span<const u8> data) override {
+    dev_->store_dma(handle, data);
+  }
 
   [[nodiscard]] pm::PmDevice& device() noexcept { return *dev_; }
   [[nodiscard]] pm::PmPool& pool() noexcept { return *pool_; }
@@ -140,10 +159,32 @@ struct PktBuf {
   IpHeader ip{};
   TcpHeader tcp{};
 
-  // Linear data area.
+  // Linear data area. For a *sliced* packet (NIC payload slicer, see
+  // sliced() below) the linear buffer holds only the headers
+  // [0, payload_off) and `len` still counts headers + payload, so TCP
+  // sequence arithmetic and payload_len() are representation-blind.
   u64 data_h = 0;
   u32 cap = 0;  // allocation size
   u32 len = 0;  // used bytes
+
+  // Payload slice (NIC slicer): the payload bytes were DMA'd by the NIC
+  // into a separately allocated arena block — on a PM arena, their final
+  // durable slot. Bytes live at [slice_h + slice_off, + payload_len()).
+  // The slice is refcounted exactly like data_h (clones share it).
+  u64 slice_h = 0;
+  u32 slice_cap = 0;
+  u32 slice_off = 0;
+
+  [[nodiscard]] bool sliced() const noexcept {
+    return kSlicerCompiled && slice_h != 0;
+  }
+
+  // Drop the first `n` payload bytes (TCP partial-overlap trim): for a
+  // sliced packet the slice window advances in step with payload_off.
+  void trim_payload(u32 n) noexcept {
+    payload_off = static_cast<u16>(payload_off + n);
+    if (sliced()) slice_off += n;
+  }
 
   // Fragments (GSO super-packets).
   Frag frags[kMaxFrags]{};
@@ -213,6 +254,14 @@ class PktBufPool {
   [[nodiscard]] u64 adopt_data(PktBuf& pb);
   void unref_data(u64 data_h, u32 cap);
 
+  // NIC slicer support: allocates a `len`-byte arena block as the
+  // packet's payload slice (refcounted; freed with the last metadata or
+  // adopter reference). Returns false when the arena is exhausted.
+  [[nodiscard]] bool attach_slice(PktBuf& pb, u32 len);
+  // Adopt the payload slice (zero-copy ingest of a sliced packet): extra
+  // reference, like adopt_data. Pair with unref_data(slice_h, slice_cap).
+  [[nodiscard]] u64 adopt_slice(PktBuf& pb);
+
   // Attaches an arena block as a refcounted frag of `pb` (super-packets,
   // zero-copy emission of stored data). `off` selects a byte range within
   // the block.
@@ -230,6 +279,11 @@ class PktBufPool {
     return {arena_->data(pb.data_h, len), len};
   }
   [[nodiscard]] std::span<const u8> payload(PktBuf& pb) {
+    if (pb.sliced()) {
+      return {arena_->data(pb.slice_h, pb.slice_off + pb.payload_len()) +
+                  pb.slice_off,
+              pb.payload_len()};
+    }
     return {arena_->data(pb.data_h, pb.len) + pb.payload_off, pb.payload_len()};
   }
 

@@ -422,7 +422,7 @@ void TcpConn::rx_data(PktBuf* pb) {
   if (seq_lt(seq, rcv_nxt_)) {
     // Partial overlap: trim the already-received prefix.
     const u32 trim = rcv_nxt_ - seq;
-    pb->payload_off = static_cast<u16>(pb->payload_off + trim);
+    pb->trim_payload(trim);
     pb->tcp.seq = rcv_nxt_;
   }
   if (pb->tcp.seq == rcv_nxt_) {
@@ -457,7 +457,7 @@ void TcpConn::deliver_in_order() {
     }
     if (seq_lt(first->rb_key, rcv_nxt_)) {
       const u32 trim = rcv_nxt_ - first->rb_key;
-      first->payload_off = static_cast<u16>(first->payload_off + trim);
+      first->trim_payload(trim);
       first->tcp.seq = rcv_nxt_;
     }
     rcv_nxt_ += first->payload_len();

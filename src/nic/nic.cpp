@@ -205,6 +205,75 @@ void Nic::on_frame(WireFrame frame) {
   }
   Queue& queue = queues_[q];
 
+  // --- Sliced RX path (payload slicer engine, §5.2) --------------------
+  // The slicer splits the DMA: headers land in a (small) pre-posted
+  // descriptor buffer, the payload lands in a separately allocated arena
+  // slot — on a PM-backed queue, its final durable resting place. Like
+  // the checksum engine it sits on the store-and-forward path and adds no
+  // latency of its own. Gated to TCP frames with payload on PM-pooled
+  // queues (DRAM clients keep the contiguous path) and requires the RX
+  // checksum engine: verification must precede the split DMA, and the
+  // payload integrity word narrows from the same complete sum.
+  if (net::kSlicerCompiled && opts_.payload_slicing && opts_.csum_offload_rx &&
+      ip->protocol == net::kIpProtoTcp && frame.bytes.size() > payload_off &&
+      queue.pool->arena().persistent()) {
+    const std::span<const u8> l4_seg = bytes.subspan(kEthHdrLen + kIpHdrLen);
+    const u32 full_sum = inet_sum(l4_seg);
+    const u32 pseudo =
+        net::l4_pseudo_sum(ip->src, ip->dst, ip->protocol, l4_seg.size());
+    if (inet_fold(full_sum + pseudo) != 0xffff) {
+      rx_csum_errors_++;
+      obs::inc(m_rx_csum_err_);
+      return;
+    }
+    const u32 plen = static_cast<u32>(frame.bytes.size()) - payload_off;
+    net::PktBuf* pb = queue.pool->alloc(payload_off);  // headers only
+    if (pb == nullptr) {
+      rx_drops_++;
+      obs::inc(m_rx_drops_);
+      return;
+    }
+    if (!queue.pool->attach_slice(*pb, plen)) {
+      queue.pool->free(pb);
+      rx_drops_++;
+      obs::inc(m_rx_drops_);
+      return;
+    }
+    std::memcpy(queue.pool->writable(*pb, payload_off).data(),
+                frame.bytes.data(), payload_off);
+    queue.pool->arena().mark_dirty(pb->data_h, payload_off);
+    // Payload DMA straight into the slice slot: a PCIe non-allocating
+    // write — durable on placement, no flush owed (PmDevice::store_dma).
+    queue.pool->arena().store_dma(pb->slice_h,
+                                  bytes.subspan(payload_off, plen));
+    pb->len = static_cast<u32>(frame.bytes.size());
+    if (opts_.hw_timestamps) pb->hw_tstamp = env_.now();
+    pb->l2_off = 0;
+    pb->l3_off = kEthHdrLen;
+    pb->l4_off = kEthHdrLen + kIpHdrLen;
+    pb->l4_proto = ip->protocol;
+    pb->ip = *ip;
+    pb->tcp = l4;
+    pb->payload_off = payload_off;
+    pb->rss_hash = hash;
+    pb->rss_queue = static_cast<u16>(q);
+    pb->wire_csum = pb->tcp.checksum;
+    pb->csum_verified = true;
+    pb->payload_csum = net::payload_csum_from_complete(
+        full_sum, bytes.subspan(pb->l4_off, l4_hdr_len));
+    rx_frames_++;
+    queue.rx_frames++;
+    queue.sliced_frames++;
+    obs::inc(queue.m_rx_frames);
+    obs::inc(queue.m_sliced_frames);
+    if (queue.sink) {
+      queue.sink(pb);
+    } else {
+      queue.pool->free(pb);
+    }
+    return;
+  }
+
   // DMA into a pre-posted RX buffer of the chosen queue.
   net::PktBuf* pb = queue.pool->alloc(static_cast<u32>(frame.bytes.size()));
   if (pb == nullptr) {

@@ -48,6 +48,14 @@ struct NicOptions {
   bool csum_offload_tx = true;
   bool csum_offload_rx = true;
   bool hw_timestamps = true;
+  // Payload slicer (NFSlicer-style, §5.2 "harvest the offload engines"):
+  // for TCP frames landing on a PM-backed queue, the NIC DMAs the payload
+  // into a separately allocated arena slot — its final, durable resting
+  // place — and delivers a header-only descriptor (PktBuf::sliced()).
+  // Requires csum_offload_rx (the slicer narrows from the same
+  // checksum-complete word). DRAM-pooled queues (clients) fall back to
+  // the contiguous path automatically.
+  bool payload_slicing = false;
 };
 
 class Nic final : public net::NetIf {
@@ -130,6 +138,8 @@ class Nic final : public net::NetIf {
     Queue& q = queues_.at(queue);
     q.m_rx_frames = r != nullptr ? &r->counter("nic.rx_frames") : nullptr;
     q.m_tx_frames = r != nullptr ? &r->counter("nic.tx_frames") : nullptr;
+    q.m_sliced_frames =
+        r != nullptr ? &r->counter("nic.sliced_frames") : nullptr;
   }
 
   // Stats.
@@ -143,6 +153,9 @@ class Nic final : public net::NetIf {
   [[nodiscard]] u64 queue_tx_frames(u32 q) const noexcept {
     return q < queues_.size() ? queues_[q].tx_frames : 0;
   }
+  [[nodiscard]] u64 queue_sliced_frames(u32 q) const noexcept {
+    return q < queues_.size() ? queues_[q].sliced_frames : 0;
+  }
 
  private:
   struct Queue {
@@ -150,8 +163,10 @@ class Nic final : public net::NetIf {
     std::function<void(net::PktBuf*)> sink;
     u64 rx_frames = 0;
     u64 tx_frames = 0;
+    u64 sliced_frames = 0;  // RX frames delivered header-only
     obs::Counter* m_rx_frames = nullptr;
     obs::Counter* m_tx_frames = nullptr;
+    obs::Counter* m_sliced_frames = nullptr;
   };
 
   void on_frame(WireFrame frame);

@@ -32,21 +32,25 @@ enum class Stage : u8 {
   rx = 0,
   parse,
   checksum,
+  slice,       // sliced-descriptor bookkeeping (NIC payload slicer)
   copy,
   alloc_index,
+  nic_insert,  // NIC index-engine offload: doorbell + wait + completion
   persist,
   tx,
   rtt,  // client-side whole-request span (issue -> response parsed)
 };
-inline constexpr int kStages = 8;
+inline constexpr int kStages = 10;
 
 [[nodiscard]] constexpr std::string_view to_string(Stage s) noexcept {
   switch (s) {
     case Stage::rx: return "rx";
     case Stage::parse: return "parse";
     case Stage::checksum: return "checksum";
+    case Stage::slice: return "slice";
     case Stage::copy: return "copy";
     case Stage::alloc_index: return "alloc+index";
+    case Stage::nic_insert: return "nic_insert";
     case Stage::persist: return "persist";
     case Stage::tx: return "tx";
     case Stage::rtt: return "rtt";

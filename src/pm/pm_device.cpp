@@ -47,6 +47,25 @@ void PmDevice::store(u64 offset, std::span<const u8> data) {
   mark_dirty(offset, data.size());
 }
 
+void PmDevice::store_dma(u64 offset, std::span<const u8> data) {
+  if (data.empty()) return;
+  check_range(offset, data.size());
+  // The DMA write lands in the PM controller directly: both images update,
+  // no flush is owed for these bytes.
+  std::memcpy(mem_.data() + offset, data.data(), data.size());
+  std::memcpy(persisted_.data() + offset, data.data(), data.size());
+  // Lines fully covered by the DMA carry no stale CPU-side bytes any more;
+  // partially covered edge lines keep whatever dirty state the CPU owes.
+  const u64 first_full = align_up(offset, kCacheLine) / kCacheLine;
+  const u64 end = offset + data.size();
+  const u64 last_full_end = (end / kCacheLine) * kCacheLine;
+  for (u64 line = first_full; line * kCacheLine < last_full_end; line++) {
+    dirty_.erase(line);
+    pending_.erase(line);
+  }
+  bump_fault_event();  // boundary right after placement (pre-publication)
+}
+
 void PmDevice::mark_dirty(u64 offset, u64 len) {
   if (len == 0) return;
   check_range(offset, len);

@@ -75,6 +75,17 @@ class PmDevice {
   /// eviction mode (FaultPlan::evict_dirty_p) cannot surface it either.
   void mark_dirty(u64 offset, u64 len);
 
+  /// Device-side DMA store (PCIe non-allocating write landing in the PM
+  /// controller, bypassing the CPU cache): the bytes are durable on return
+  /// — both the volatile and persisted images update, no clwb/sfence is
+  /// owed, and fully covered cache lines leave the dirty/pending sets.
+  /// Partially covered edge lines keep any pre-existing dirty state (the
+  /// CPU may hold older bytes of those lines). Deferred-publication words
+  /// are never written this way (DMA targets freshly reserved slots).
+  /// Counts one fault-plan event (may throw PowerFailure — the cut lands
+  /// right after placement, before any host-side publication).
+  void store_dma(u64 offset, std::span<const u8> data);
+
   // --- Persistence primitives -----------------------------------------
   /// clwb: queue the cache lines covering [offset, offset+len) for
   /// write-back. Charged per line. Lines not dirty are still charged (the

@@ -57,6 +57,26 @@ class Clock {
   void end_scope() noexcept { collector_ = nullptr; }
   [[nodiscard]] bool in_scope() const noexcept { return collector_ != nullptr; }
 
+  // Swap the active scope for another (scopes never nest, but a device
+  // engine modelled *inside* a host scope — e.g. the NIC index engine —
+  // needs to divert charges away from the host's collector and restore it
+  // afterwards, including when a PowerFailure unwinds through the engine).
+  struct ScopeState {
+    SimTime base = 0;
+    SimTime* collector = nullptr;
+  };
+  [[nodiscard]] ScopeState exchange_scope(SimTime base,
+                                          SimTime* collector) noexcept {
+    const ScopeState prev{scope_base_, collector_};
+    scope_base_ = base;
+    collector_ = collector;
+    return prev;
+  }
+  void restore_scope(ScopeState s) noexcept {
+    scope_base_ = s.base;
+    collector_ = s.collector;
+  }
+
   void reset() noexcept {
     now_ = 0;
     collector_ = nullptr;

@@ -96,6 +96,22 @@ struct CostModel {
   SimTime nic_tx_ns = 650;        // doorbell + descriptor + DMA latency
   SimTime nic_rx_ns = 600;        // DMA + descriptor writeback
   SimTime nic_csum_offload_ns = 0;   // checksum engine is on the wire path
+  // Payload slicer (NFSlicer-style split DMA, see PAPERS.md): like the
+  // checksum engine, the slicer sits on the store-and-forward path and adds
+  // no latency of its own — the payload DMA targets the PM slot instead of
+  // the host buffer. The host still pays a small per-segment cost to read
+  // the completion descriptor and take ownership of the pre-placed slot.
+  SimTime nic_slice_host_ns = 40;    // completion-descriptor + slot adoption
+  // NIC-side index engine (CARGO-style near-data insert, see PAPERS.md):
+  // the host posts a command (MMIO doorbell), the engine walks the
+  // skip-list level-0 backbone over its own PM port, and the host later
+  // reads a completion. Command execution is fixed-cost plus a small
+  // per-segment metadata charge; the engine is slower than the host CPU at
+  // pure pointer-chasing but its cost does not grow with value bytes.
+  SimTime nic_insert_doorbell_ns = 250;    // MMIO doorbell + command write
+  SimTime nic_insert_completion_ns = 150;  // completion poll + status read
+  SimTime nic_insert_cmd_ns = 2400;        // engine command execution, fixed
+  SimTime nic_insert_meta_ns = 90;         // engine per-segment meta append
   double wire_ns_per_byte = 0.32;    // 25 Gbit/s serialization     [T1 hw]
   SimTime fabric_propagation_ns = 900;  // cable + cut-through switch, one way
   double net_scale = 1.0;  // ablation A4: scales all stack+fabric net costs

@@ -27,12 +27,15 @@ struct StoreKnobs {
 struct OpBreakdown {
   SimTime prep_ns = 0;
   SimTime checksum_ns = 0;
+  SimTime slice_ns = 0;       // sliced-descriptor bookkeeping (NIC slicer)
   SimTime copy_ns = 0;
   SimTime alloc_insert_ns = 0;
+  SimTime nic_insert_ns = 0;  // doorbell + wait + completion (NIC engine)
   SimTime persist_ns = 0;
 
   [[nodiscard]] SimTime data_mgmt_ns() const noexcept {
-    return prep_ns + checksum_ns + copy_ns + alloc_insert_ns;
+    return prep_ns + checksum_ns + slice_ns + copy_ns + alloc_insert_ns +
+           nic_insert_ns;
   }
   [[nodiscard]] SimTime total_ns() const noexcept {
     return data_mgmt_ns() + persist_ns;
@@ -41,8 +44,10 @@ struct OpBreakdown {
   OpBreakdown& operator+=(const OpBreakdown& o) noexcept {
     prep_ns += o.prep_ns;
     checksum_ns += o.checksum_ns;
+    slice_ns += o.slice_ns;
     copy_ns += o.copy_ns;
     alloc_insert_ns += o.alloc_insert_ns;
+    nic_insert_ns += o.nic_insert_ns;
     persist_ns += o.persist_ns;
     return *this;
   }
@@ -50,8 +55,10 @@ struct OpBreakdown {
     if (n > 0) {
       prep_ns /= n;
       checksum_ns /= n;
+      slice_ns /= n;
       copy_ns /= n;
       alloc_insert_ns /= n;
+      nic_insert_ns /= n;
       persist_ns /= n;
     }
     return *this;
