@@ -31,7 +31,12 @@ namespace papm::benchio {
 //     --cost-model flag) recording every calibrated constant the run
 //     used, making BENCH_*.json self-describing without cost_model.h at
 //     the matching sha. Prior fields unchanged.
-inline constexpr long long kSchemaVersion = 5;
+// v6: replication / availability fields (bench_repl): `quorum`,
+//     `repl_tax_ns` (mean added ack latency per quorum-gated op),
+//     `degraded_acks`, and the failover records' `detect_us` /
+//     `failover_us` / `acked_puts` / `acked_lost`. Prior fields
+//     unchanged.
+inline constexpr long long kSchemaVersion = 6;
 
 // Returns the value following `flag`, or empty if absent.
 inline std::string arg_value(int argc, char** argv, std::string_view flag) {

@@ -14,6 +14,10 @@
 //   --check-attribution   verify that discard-RTT + the traced data-mgmt
 //                         stage means reproduces the measured LSM RTT
 //                         within 1% (exit 1 otherwise)
+//   --repl                append a replication row: pktstore PUT RTT with
+//                         quorum acks off vs on (quorum=2, R=2); with
+//                         --check-attribution the traced repl-stage mean
+//                         must reconcile the two RTTs within 1%
 #include <cstdio>
 #include <cstdlib>
 
@@ -177,6 +181,58 @@ int main(int argc, char** argv) {
     std::printf("\nwrote %s (Chrome trace_events; load in Perfetto or "
                 "chrome://tracing)\n",
                 trace_path.c_str());
+  }
+
+  // Replication row: what the quorum gate adds to a pktstore PUT, and
+  // whether the traced repl stage accounts for exactly that gap.
+  if (benchio::has_flag(argc, argv, "--repl")) {
+    if (!repl::kReplCompiled) {
+      std::printf("\nreplication row: SKIP (built with -DPAPM_REPL=OFF)\n");
+    } else {
+      auto off_cfg = base(Backend::pktstore);
+      off_cfg.trace = want_trace;
+      const auto off = run_experiment(off_cfg);
+      auto on_cfg = off_cfg;
+      on_cfg.repl = true;
+      on_cfg.repl_replicas = 2;
+      on_cfg.repl_opts.quorum = 2;
+      const auto on = run_experiment(on_cfg);
+      std::printf("\n--- Replication (pktstore 1KB PUT, quorum=2, R=2) ---\n");
+      std::printf("repl off RTT %.2f us, repl on RTT %.2f us, "
+                  "quorum tax %.2f us (server-measured %.2f us)\n",
+                  off.mean_rtt_us(), on.mean_rtt_us(),
+                  on.mean_rtt_us() - off.mean_rtt_us(),
+                  static_cast<double>(on.repl_tax_ns) / 1000.0);
+      if (want_trace) {
+        // Composition self-check, same shape as Table 1's: the norepl
+        // RTT plus the traced server-side *delta* (dominated by the repl
+        // stage — locally-ready -> quorum release — with the shared
+        // stages' second-order shifts differenced out, as the Table 1
+        // check does for parse) must reproduce the gated RTT.
+        const double repl_us = on.attribution.mean_ns(obs::Stage::repl) / 1e3;
+        const double server_delta_us =
+            (on.attribution.server_sum_ns() -
+             off.attribution.server_sum_ns()) / 1e3;
+        const double reconstructed_us = off.mean_rtt_us() + server_delta_us;
+        const double err =
+            (reconstructed_us - on.mean_rtt_us()) / on.mean_rtt_us();
+        std::printf("repl attribution check: norepl RTT %.2f + traced delta "
+                    "%.2f (repl stage %.2f) = %.2f us vs measured %.2f us "
+                    "(%+.2f%%)\n",
+                    off.mean_rtt_us(), server_delta_us, repl_us,
+                    reconstructed_us, on.mean_rtt_us(), err * 100.0);
+        if (check_attr) {
+          if (!obs::kEnabled) {
+            std::printf("repl attribution check: SKIP (PAPM_OBS=OFF)\n");
+          } else if (err > 0.01 || err < -0.01) {
+            std::printf("repl attribution check: FAIL (|error| > 1%%)\n");
+            return 1;
+          } else {
+            std::printf("repl attribution check: OK\n");
+          }
+        }
+      }
+    }
   }
 
   // Cross-check by skipping one logical operation at a time (§3: "we

@@ -19,7 +19,7 @@ struct XferResult {
 
 XferResult transfer(double loss, double reorder) {
   sim::Env env;
-  nic::Fabric fabric(env, {loss, reorder, 20 * kNsPerUs, 0.0});
+  nic::Fabric fabric(env, {.loss_p = loss, .reorder_p = reorder});
 
   HostConfig ccfg;
   ccfg.ip = 0x0a000001;

@@ -9,7 +9,10 @@
 #      src/obs/metrics.h) never appears in docs/OBSERVABILITY.md;
 #   3. every bench binary must have a section in docs/BENCHMARKS.md, and
 #      every JSON field a bench emits (w.field("...") — string literals
-#      by convention, see bench/bench_json.h) must be documented there.
+#      by convention, see bench/bench_json.h) must be documented there;
+#   4. every trace stage name (the to_string cases in src/obs/trace.h)
+#      must appear in docs/OBSERVABILITY.md — the attribution tables are
+#      unreadable when a stage label has no definition.
 # Run from anywhere.
 set -euo pipefail
 
@@ -40,6 +43,16 @@ fields="$(grep -rhoE 'field\("[^"]+"' bench/ \
 for f in $fields; do
   if ! grep -qF "\`$f\`" docs/BENCHMARKS.md; then
     echo "check_docs: JSON field '$f' is not documented in docs/BENCHMARKS.md" >&2
+    missing=1
+  fi
+done
+
+# Trace stage names (the to_string cases in src/obs/trace.h).
+stages="$(grep -oE 'case Stage::[a-z_]+: return "[^"]+"' src/obs/trace.h \
+  | sed -E 's/.*return "([^"]+)".*/\1/' | sort -u)"
+for s in $stages; do
+  if ! grep -qF "\`$s\`" docs/OBSERVABILITY.md; then
+    echo "check_docs: trace stage '$s' is not documented in docs/OBSERVABILITY.md" >&2
     missing=1
   fi
 done

@@ -6,11 +6,14 @@
 # observability compiled out (-DPAPM_OBS=OFF) proving the kill switch
 # leaves the tree buildable and the tests green, and a fifth pass with
 # group commit compiled out (-DPAPM_GROUP_COMMIT=OFF) keeping the legacy
-# fence-per-op persistence path built and crash-tested, and a sixth pass
+# fence-per-op persistence path built and crash-tested, a sixth pass
 # with the NIC slicer compiled out (-DPAPM_SLICER=OFF) proving the
-# pre-slicer RX path still builds and tests green. Also lints the docs
-# (every bench binary must have an EXPERIMENTS.md section; every
-# registered metric an entry in docs/OBSERVABILITY.md).
+# pre-slicer RX path still builds and tests green, and a seventh pass
+# with replication compiled out (-DPAPM_REPL=OFF) proving the norepl
+# datapath builds, tests green, and produces bit-identical bench records
+# (the OFF build is not a perf fork). Also lints the docs (every bench
+# binary must have an EXPERIMENTS.md section; every registered metric an
+# entry in docs/OBSERVABILITY.md).
 # Run from the repository root.
 set -euo pipefail
 
@@ -36,6 +39,12 @@ build/bench/bench_slicer --quick --json build/slicer_b.json
 cmp build/slicer_a.json build/slicer_b.json
 echo "bench_slicer: reruns byte-identical"
 
+echo "== tier-1: repl smoke + determinism (byte-identical reruns) =="
+build/bench/bench_repl --quick --json build/repl_a.json
+build/bench/bench_repl --quick --json build/repl_b.json
+cmp build/repl_a.json build/repl_b.json
+echo "bench_repl: reruns byte-identical (and zero acked writes lost)"
+
 echo "== tier-1: ASan+UBSan build =="
 cmake --preset asan >/dev/null
 cmake --build build-asan -j
@@ -59,5 +68,16 @@ echo "== tier-1: PAPM_SLICER=OFF build (pre-slicer RX path) =="
 cmake --preset noslicer >/dev/null
 cmake --build build-noslicer -j
 ctest --test-dir build-noslicer --output-on-failure -j
+
+echo "== tier-1: PAPM_REPL=OFF build (replication kill switch) =="
+cmake --preset norepl >/dev/null
+cmake --build build-norepl -j
+ctest --test-dir build-norepl --output-on-failure -j
+# With no Replicator attached the datapath must be bit-identical either
+# way: the same recorded bench run from both builds, compared bytewise.
+build/bench/bench_openloop --conns 1000 --seconds 1 --json build/openloop_repl_on.json
+build-norepl/bench/bench_openloop --conns 1000 --seconds 1 --json build/openloop_repl_off.json
+cmp build/openloop_repl_on.json build/openloop_repl_off.json
+echo "bench_openloop: PAPM_REPL=ON/OFF builds bit-identical"
 
 echo "== tier-1: OK =="

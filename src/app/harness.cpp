@@ -1,10 +1,16 @@
 #include "app/harness.h"
 
+#include <map>
+
+#include "repl/replica.h"
+
 namespace papm::app {
 
 namespace {
 constexpr u32 kClientIp = 0x0a000001;
 constexpr u32 kServerIp = 0x0a000002;
+// Backup hosts for cfg.repl: 10.0.0.241+, clear of clients and server.
+constexpr u32 kReplicaIpBase = 0x0a0000f1;
 // Open-loop client hosts: 10.1.0.x, clear of the closed-loop pair above.
 constexpr u32 kOpenLoopClientBase = 0x0a010000;
 // Connections one client host may open (u16 ephemeral ports from 33000
@@ -56,6 +62,26 @@ RunResult run_experiment(const RunConfig& cfg) {
   scfg.pkt_opts = cfg.pkt_opts;
   scfg.trace = cfg.trace;
   KvServer server(server_host, scfg);
+
+  // Replication testbed: R backup hosts plus the primary-side forwarder.
+  std::vector<std::unique_ptr<repl::ReplicaNode>> replicas;
+  std::optional<repl::Replicator> replicator;
+  if (cfg.repl && repl::kReplCompiled && cfg.backend == Backend::pktstore) {
+    std::vector<u32> peer_ips;
+    for (u32 i = 0; i < cfg.repl_replicas; i++) {
+      repl::ReplicaConfig rc;
+      rc.ip = kReplicaIpBase + i;
+      rc.primary_ip = kServerIp;
+      rc.opts = cfg.repl_opts;
+      rc.store_opts = cfg.pkt_opts;
+      replicas.push_back(std::make_unique<repl::ReplicaNode>(env, fabric, rc));
+      peer_ips.push_back(rc.ip);
+    }
+    replicator.emplace(env, server_host.udp(), cfg.repl_opts,
+                       std::move(peer_ips));
+    replicator->start_heartbeats();
+    server.set_replicator(&*replicator);
+  }
 
   ClientConfig ccfg;
   ccfg.server_ip = kServerIp;
@@ -112,6 +138,16 @@ RunResult run_experiment(const RunConfig& cfg) {
     r.conns_migrated = rebalancer->conns_moved();
   }
 
+  if (replicator.has_value()) {
+    r.repl_forwards = replicator->forwards();
+    r.repl_acks_rx = replicator->acks_rx();
+    r.repl_retransmits = replicator->retransmits();
+    r.repl_degraded_acks = replicator->degraded_acks();
+    if (server.repl_gated_ops() > 0) {
+      r.repl_tax_ns = server.repl_tax_ns() / server.repl_gated_ops();
+    }
+  }
+
   r.flush = server_host.pm_device().obs_epoch();
   if (cfg.collect_metrics) {
     // Server and client are distinct machines: report them as separate
@@ -129,6 +165,149 @@ RunResult run_experiment(const RunConfig& cfg) {
     r.attribution = obs::attribute(merged);
     r.trace_json = obs::chrome_trace_json(merged);
   }
+  return r;
+}
+
+FailoverResult run_failover(const FailoverConfig& cfg) {
+  FailoverResult r;
+  if (!repl::kReplCompiled) return r;
+
+  sim::Env env;
+  env.cost = cfg.cost;
+  env.rng = Rng(cfg.seed);
+  nic::Fabric fabric(env, cfg.fabric);
+
+  HostConfig server_cfg;
+  server_cfg.ip = kServerIp;
+  server_cfg.cores = cfg.server_cores;
+  server_cfg.busy_poll = true;
+  server_cfg.pm_backed = true;
+  server_cfg.pm_size = cfg.pm_size;
+  server_cfg.nic = cfg.nic;
+  Host server_host(env, fabric, server_cfg);
+
+  ServerConfig scfg;
+  scfg.backend = Backend::pktstore;
+  scfg.pkt_opts = cfg.pkt_opts;
+  KvServer server(server_host, scfg);
+
+  // Backups, armed to detect the primary's silence.
+  std::vector<std::unique_ptr<repl::ReplicaNode>> replicas;
+  std::vector<u32> peer_ips;
+  std::vector<SimTime> suspect_at(cfg.replicas, 0);
+  for (u32 i = 0; i < cfg.replicas; i++) {
+    repl::ReplicaConfig rc;
+    rc.ip = kReplicaIpBase + i;
+    rc.primary_ip = kServerIp;
+    rc.opts = cfg.repl;
+    rc.store_opts = cfg.pkt_opts;
+    rc.nic = cfg.nic;
+    auto node = std::make_unique<repl::ReplicaNode>(env, fabric, rc);
+    node->on_primary_suspect = [&env, &suspect_at, i] {
+      suspect_at[i] = env.now();
+    };
+    node->monitor_primary();
+    replicas.push_back(std::move(node));
+    peer_ips.push_back(rc.ip);
+  }
+  repl::Replicator replicator(env, server_host.udp(), cfg.repl,
+                              std::move(peer_ips));
+  replicator.start_heartbeats();
+  server.set_replicator(&replicator);
+
+  // One PUT-only open-loop client host; its acked-key set is what the
+  // promoted store must fully contain.
+  HostConfig chc;
+  chc.ip = kOpenLoopClientBase;
+  chc.cores = 0;
+  chc.busy_poll = false;
+  chc.nic = cfg.nic;
+  Host client_host(env, fabric, chc);
+  OpenLoopConfig occ;
+  occ.server_ip = kServerIp;
+  occ.connections = cfg.connections;
+  occ.rate_rps = cfg.rate_rps;
+  occ.value_size = cfg.value_size;
+  occ.get_ratio = 0.0;
+  occ.keyspace = cfg.keyspace;
+  occ.seed = cfg.seed;
+  occ.connect_window_ns = static_cast<SimTime>(cfg.connections) * 5 * kNsPerUs;
+  OpenLoopClient client(client_host, occ);
+  std::map<u64, u64> acked;  // key idx -> acked-put count
+  client.on_put_ok = [&acked, &r](u64 key_idx) {
+    acked[key_idx]++;
+    r.acked_puts++;
+  };
+
+  client.start();
+  env.engine.run_until(cfg.cut_at_ns);
+
+  // The cut: link down, forwarder dead, load stops. Frames already on
+  // the wire (including client acks the quorum released) still deliver —
+  // an ack in flight at the cut is an ack the client will count, so the
+  // survivors set keeps growing for one propagation delay. That is the
+  // honest accounting: those writes WERE quorum-durable when acked.
+  const SimTime cut = env.now();
+  server_host.nic().set_link_up(false);
+  replicator.stop();
+  client.stop();
+
+  // Detection: run until some backup declares the primary suspect.
+  while (env.now() < cut + cfg.detect_budget_ns) {
+    env.engine.run_until(env.now() + 20 * kNsPerUs);
+    bool fired = false;
+    for (u32 i = 0; i < cfg.replicas; i++) fired = fired || suspect_at[i] != 0;
+    if (fired) break;
+  }
+  SimTime first_suspect = 0;
+  for (u32 i = 0; i < cfg.replicas; i++) {
+    if (suspect_at[i] != 0 &&
+        (first_suspect == 0 || suspect_at[i] < first_suspect)) {
+      first_suspect = suspect_at[i];
+    }
+  }
+  if (first_suspect == 0) return r;  // budget blown: report the failure
+  r.detected = true;
+  r.detect_us = static_cast<double>(first_suspect - cut) / 1000.0;
+
+  // Election: highest durable seq wins (cumulative acks make it a
+  // superset of every acked write); ties break toward the lower IP.
+  repl::ReplicaNode* winner = replicas[0].get();
+  for (auto& node : replicas) {
+    if (node->durable_seq() > winner->durable_seq()) winner = node.get();
+  }
+  winner->promote();
+
+  // Settle: the winner's in-flight apply epochs drain (group-commit
+  // watchdogs close them without new traffic).
+  while (env.now() < cut + cfg.detect_budget_ns + cfg.settle_budget_ns) {
+    if (winner->durable_seq() == winner->applied_seq()) {
+      r.settled = true;
+      break;
+    }
+    env.engine.run_until(env.now() + 20 * kNsPerUs);
+  }
+  r.settled = r.settled || winner->durable_seq() == winner->applied_seq();
+  r.failover_us = static_cast<double>(env.now() - cut) / 1000.0;
+  r.winner_ip = winner->ip();
+  r.winner_durable_seq = winner->durable_seq();
+  r.winner_applies = winner->applies();
+
+  // The contract check: every client-acked key must read back from the
+  // promoted store with exactly the deterministic per-key value.
+  r.acked_keys = acked.size();
+  for (const auto& [key_idx, n] : acked) {
+    Rng vr(cfg.seed * 1315423911ULL + key_idx);
+    std::vector<u8> want(cfg.value_size);
+    for (auto& b : want) b = static_cast<u8>(vr.next());
+    const auto got = winner->store().get("key" + std::to_string(key_idx));
+    if (!got.ok() || got.value() != want) r.acked_lost++;
+  }
+
+  r.repl_forwards = replicator.forwards();
+  r.repl_acks_rx = replicator.acks_rx();
+  r.repl_retransmits = replicator.retransmits();
+  r.degraded_acks = replicator.degraded_acks();
   return r;
 }
 

@@ -41,6 +41,13 @@ struct RunConfig {
   bool rebalance = false;
   RebalanceConfig rebalance_cfg;
 
+  // Replication (src/repl/): R backup hosts on the fabric; pktstore
+  // mutations ack only once a quorum of hosts holds them durably.
+  // Requires backend == pktstore (other backends ignore it).
+  bool repl = false;
+  u32 repl_replicas = 2;
+  repl::ReplOptions repl_opts;
+
   // Environment.
   sim::CostModel cost;
   nic::Fabric::Options fabric;
@@ -71,6 +78,13 @@ struct RunResult {
   u64 rebalance_rounds = 0;
   u64 bucket_moves = 0;
   u64 conns_migrated = 0;
+
+  // Replication activity (zeros when cfg.repl is off).
+  u64 repl_forwards = 0;
+  u64 repl_acks_rx = 0;
+  u64 repl_retransmits = 0;
+  u64 repl_degraded_acks = 0;
+  u64 repl_tax_ns = 0;  // mean added ack latency per quorum-gated op
 
   // Observability results (populated per the RunConfig flags).
   obs::Attribution attribution{};       // per-stage means over the window
@@ -162,5 +176,74 @@ struct OpenLoopResult {
 // IPs; the u16 ephemeral-port space caps one host) and their sample sets
 // merge into one distribution.
 OpenLoopResult run_openloop(const OpenLoopRunConfig& cfg);
+
+// --- Whole-host failover experiments (availability A4) --------------------
+//
+// Kill the primary mid-load and measure the cluster's recovery: how long
+// until a backup declares the primary suspect, how long until the winner
+// (max durable seq) is promoted with its apply pipeline drained, and —
+// the invariant the quorum bought — that every write the *client* saw
+// acked is present and intact on the promoted host.
+
+struct FailoverConfig {
+  // Primary (pktstore backend; replication requires it).
+  core::PktStoreOptions pkt_opts;
+  int server_cores = 1;
+  u64 pm_size = 128u << 20;
+
+  // Replication group.
+  u32 replicas = 2;
+  repl::ReplOptions repl;  // quorum, heartbeat cadence, degrade policy
+
+  // Open-loop PUT-only load (GETs would dilute the acked-write set; the
+  // keyspace is left unprimed so every byte on the backups arrived via
+  // the replication stream). One client host: one seed, so the per-key
+  // value convention Rng(seed * 1315423911 + k) verifies the survivors.
+  int connections = 64;
+  double rate_rps = 40'000;
+  std::size_t value_size = 512;
+  u64 keyspace = 1024;
+
+  // The cut: at cut_at_ns the primary's NIC link drops and its forwarder
+  // dies (whole-host loss — no goodbye traffic). Must leave room for the
+  // client's connect ramp (connections * 5 us) before it.
+  SimTime cut_at_ns = 30 * kNsPerMs;
+  SimTime detect_budget_ns = 50 * kNsPerMs;  // give-up bound on suspect
+  SimTime settle_budget_ns = 50 * kNsPerMs;  // give-up bound on drain
+
+  // Environment.
+  sim::CostModel cost;
+  nic::Fabric::Options fabric;
+  nic::Nic::Options nic;
+  u64 seed = 42;
+};
+
+struct FailoverResult {
+  // Client-visible acked writes before the cut, and how many of those
+  // keys the promoted host is missing or holds corrupt (the headline
+  // number; the quorum contract says it must be zero).
+  u64 acked_puts = 0;
+  u64 acked_keys = 0;  // distinct keys among them
+  u64 acked_lost = 0;
+
+  bool detected = false;  // a backup declared the primary suspect in budget
+  bool settled = false;   // winner drained (durable == applied) in budget
+  double detect_us = 0;   // cut -> first suspect declaration
+  double failover_us = 0; // cut -> promoted winner fully durable
+
+  u32 winner_ip = 0;
+  u64 winner_durable_seq = 0;
+  u64 winner_applies = 0;
+
+  // Primary-side replication activity up to the cut.
+  u64 repl_forwards = 0;
+  u64 repl_acks_rx = 0;
+  u64 repl_retransmits = 0;
+  u64 degraded_acks = 0;
+};
+
+// Requires the repl subsystem (-DPAPM_REPL=ON); under the norepl build
+// it returns a zeroed result with detected == false.
+FailoverResult run_failover(const FailoverConfig& cfg);
 
 }  // namespace papm::app

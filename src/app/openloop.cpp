@@ -90,6 +90,8 @@ void OpenLoopClient::issue(ConnCtx& ctx, SimTime arrival) {
   const u64 key_idx = ctx.zipf.has_value() ? ctx.zipf->next()
                                            : ctx.rng.next_below(cfg_.keyspace);
   const bool is_get = ctx.rng.next_double() < cfg_.get_ratio;
+  ctx.current_key = key_idx;
+  ctx.current_is_put = !is_get;
 
   env.clock().advance(env.cost.scaled(env.cost.client_http_build_ns));
   http::Request req;
@@ -116,6 +118,9 @@ void OpenLoopClient::on_readable(ConnCtx& ctx) {
       sojourn_.add(static_cast<double>(sojourn));
       completed_++;
       ctx.in_flight = false;
+      if (resp->status < 400 && ctx.current_is_put && on_put_ok) {
+        on_put_ok(ctx.current_key);
+      }
       obs::inc(m_completed_);
       obs::observe(m_sojourn_ns_, sojourn);
       if (sojourn > cfg_.deadline_ns) {

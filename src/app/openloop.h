@@ -50,6 +50,11 @@ class OpenLoopClient {
  public:
   OpenLoopClient(Host& host, OpenLoopConfig cfg);
 
+  // Fires on every successfully acked PUT (status < 400) with the key
+  // index it wrote. The failover benches build the set of client-acked
+  // writes from this — the set the promoted store must fully contain.
+  std::function<void(u64 key_idx)> on_put_ok;
+
   void start();
   // Stops generating arrivals; queued and in-flight requests finish.
   void stop() noexcept { stopped_ = true; }
@@ -73,6 +78,8 @@ class OpenLoopClient {
     http::ResponseParser parser;
     bool in_flight = false;
     SimTime current_arrival = 0;   // arrival stamp of the in-flight request
+    u64 current_key = 0;           // key index of the in-flight request
+    bool current_is_put = false;
     std::deque<SimTime> pending;   // arrivals queued behind it (FIFO)
     Rng rng{0};
     std::optional<Zipf> zipf;

@@ -291,7 +291,15 @@ bool KvServer::prime(std::string_view key, std::span<const u8> value) {
   // never reads, so the global clock (and the shard cores) stay put.
   SimTime discarded = 0;
   auto& clk = host_.env().clock();
+  // Close the scope even if the backend put throws (a fault plan can cut
+  // the device mid-prime); a leaked scope leaves the clock reading the
+  // dead `discarded` frame slot.
+  struct ScopeCloser {
+    sim::Clock* clk;
+    ~ScopeCloser() { clk->end_scope(); }
+  };
   clk.begin_scope(host_.env().now(), &discarded);
+  const ScopeCloser closer{&clk};
   Status s = Errc::ok;
   switch (cfg_.backend) {
     case Backend::discard:
@@ -304,8 +312,26 @@ bool KvServer::prime(std::string_view key, std::span<const u8> value) {
       s = sh.pktstore->put_bytes(key, value, nullptr);
       break;
   }
-  clk.end_scope();
   return s.ok();
+}
+
+void KvServer::gate_release(const std::shared_ptr<ReplGate>& g) {
+  if (!g->local || !g->remote || g->fired) return;
+  g->fired = true;
+  repl_gated_ops_++;
+  // The tax is the wait *beyond local readiness*: without replication
+  // the ack leaves at local_at (put done, or epoch committed under group
+  // commit), so only the remote wait past that point is added latency.
+  // Quorum acks that beat the local epoch commit cost nothing.
+  const SimTime end = std::max(g->remote_at, g->local_at);
+  if (g->remote_at > g->local_at) repl_tax_ns_ += g->remote_at - g->local_at;
+  if (g->traced && end > g->local_at) {
+    // The replication stage of this request: locally ready -> released.
+    host_.trace(g->shard).record(g->req, obs::Stage::repl, g->local_at,
+                                 end - g->local_at);
+  }
+  // The connection may have closed while its ack waited on the quorum.
+  if (conns_.contains(g->conn)) respond(*g->conn, g->status);
 }
 
 void KvServer::close_epoch(u32 shard) {
@@ -355,6 +381,13 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
   int status = 200;
   std::vector<u8> resp_body;
   Shard* zero_copy_shard = nullptr;
+  // Replication forwarding state (pktstore mutations with a Replicator
+  // attached): the value's gather ranges, captured where the PUT path
+  // has them in hand.
+  const bool repl_on = repl::kReplCompiled && repl_ != nullptr &&
+                       cfg_.backend == Backend::pktstore;
+  std::vector<repl::Replicator::GatherSeg> repl_segs;
+  bool repl_put_ok = false;
 
   // One Table-1 row per request: rx covers NIC ingress of the first
   // segment up to the head parse (TCP delivery, checksum verify, wakeup);
@@ -507,6 +540,12 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
           obs::inc(sh.m_errors);
         } else {
           status = 201;
+          if (repl_on) {
+            // Forward the same packets' value ranges, refcounted — the
+            // replicas receive the bytes the client's segments carried.
+            repl_segs = repl::gather_from_pkts(pkts, offs, lens);
+            repl_put_ok = true;
+          }
         }
       } else if (st.method == http::Method::get) {
         if (st.key.starts_with("/scan/")) {
@@ -555,10 +594,47 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
       st.method == http::Method::put || st.method == http::Method::del;
   const bool defer_ack =
       mutation && sh.batcher.has_value() && sh.batcher->batching();
+  const bool replicate =
+      repl_on && mutation && (status == 201 || status == 204) &&
+      (st.method == http::Method::del || repl_put_ok);
   {
     auto tx_span = tr.span(obs::Stage::tx);
     if (zero_copy_shard != nullptr) {
       respond_value_zero_copy(conn, *zero_copy_shard, st.key);
+    } else if (replicate) {
+      // Quorum-gated ack: the client hears 201/204 only once the write
+      // is locally durable AND a quorum of hosts holds it (or the
+      // degrade deadline released it as a counted local-only ack).
+      auto gate = std::make_shared<ReplGate>();
+      gate->conn = &conn;
+      gate->status = status;
+      gate->shard = st.shard;
+      gate->req = tr.req();
+      gate->traced = tr.active();
+      gate->t0 = env.now();
+      if (defer_ack) {
+        sh.batcher->on_committed([this, gate] {
+          gate->local = true;
+          gate->local_at = host_.env().now();
+          gate_release(gate);
+        });
+      } else {
+        gate->local = true;
+        gate->local_at = env.now();
+      }
+      auto done = [this, gate](bool degraded) {
+        gate->remote = true;
+        gate->degraded = degraded;
+        gate->remote_at = host_.env().now();
+        gate_release(gate);
+      };
+      if (st.method == http::Method::put) {
+        repl_->submit_put(st.key, repl_segs, static_cast<u32>(st.body_len),
+                          host_.pool(st.shard), std::move(done));
+      } else {
+        repl_->submit_erase(st.key, std::move(done));
+      }
+      gate_release(gate);  // quorum=1 resolves synchronously
     } else if (defer_ack) {
       net::TcpConn* c = &conn;
       sh.batcher->on_committed(

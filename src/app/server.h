@@ -35,6 +35,7 @@
 #include "core/pktstore.h"
 #include "http/http.h"
 #include "obs/trace.h"
+#include "repl/replicator.h"
 #include "storage/lsm_store.h"
 
 namespace papm::app {
@@ -90,6 +91,21 @@ class KvServer {
   // stranded behind an epoch whose requests migrated away.
   void close_epoch(u32 shard);
 
+  // --- Replication (src/repl/) ------------------------------------------
+  // Attaches the primary-side Replicator: pktstore mutations then ack
+  // only once locally durable AND remote-quorum durable (or released by
+  // the degrade deadline). Null (the default) keeps the single-host ack
+  // path, bit-identical to the pre-replication build — the gate branches
+  // charge nothing when no replicator is attached.
+  void set_replicator(repl::Replicator* r) noexcept { repl_ = r; }
+  [[nodiscard]] repl::Replicator* replicator() const noexcept { return repl_; }
+  // Added ack latency attributable to replication (submit -> remote
+  // quorum), summed over quorum-gated ops; the bench_repl "repl tax".
+  [[nodiscard]] u64 repl_tax_ns() const noexcept { return repl_tax_ns_; }
+  [[nodiscard]] u64 repl_gated_ops() const noexcept {
+    return repl_gated_ops_;
+  }
+
   // Loads a key directly into a shard store, bypassing the network path.
   // The open-loop harness primes the whole keyspace this way so measured
   // GETs read real data instead of 404ing on a cold store; the charged
@@ -107,6 +123,8 @@ class KvServer {
     errors_ = 0;
     breakdown_sum_ = {};
     breakdown_ops_ = 0;
+    repl_tax_ns_ = 0;
+    repl_gated_ops_ = 0;
     for (auto& sh : shards_) sh.requests = 0;
   }
 
@@ -161,6 +179,26 @@ class KvServer {
     SimTime parse_dur = 0;
   };
 
+  // Quorum-gated client ack: respond() fires only once both the local
+  // commit (epoch close or pass-through persist) and the replicator's
+  // quorum callback have released it. Shared because either side can
+  // finish first, on different event chains.
+  struct ReplGate {
+    net::TcpConn* conn = nullptr;
+    int status = 200;
+    u32 shard = 0;
+    u64 req = 0;
+    bool traced = false;
+    bool local = false;
+    bool remote = false;
+    bool fired = false;
+    bool degraded = false;
+    SimTime t0 = 0;        // submit time (repl span start)
+    SimTime local_at = 0;
+    SimTime remote_at = 0;
+  };
+  void gate_release(const std::shared_ptr<ReplGate>& g);
+
   void on_accept(net::TcpConn& conn, u32 shard);
   // Schedules (or re-schedules) the epoch-deadline close for `shard`'s
   // open epoch; fires as pinned CPU work at open + max_deferral.
@@ -190,6 +228,9 @@ class KvServer {
   Host& host_;
   ServerConfig cfg_;
   std::vector<Shard> shards_;
+  repl::Replicator* repl_ = nullptr;
+  u64 repl_tax_ns_ = 0;
+  u64 repl_gated_ops_ = 0;
 
   std::unordered_map<net::TcpConn*, ConnState> conns_;
   u64 ops_ = 0;

@@ -80,21 +80,118 @@ u64 HomaEndpoint::send_msg(u32 dst_ip, u16 dst_port, std::span<const u8> data) {
   return id;
 }
 
+u64 HomaEndpoint::send_msg_gather(u32 dst_ip, u16 dst_port,
+                                  std::span<const u8> header,
+                                  std::span<const GatherSeg> segs,
+                                  PktBufPool& pool) {
+  const u64 id = next_msg_id_++;
+  TxMsg m;
+  m.dst_ip = dst_ip;
+  m.dst_port = dst_port;
+  m.data.assign(header.begin(), header.end());
+  m.gather.assign(segs.begin(), segs.end());
+  m.gather_pool = &pool;
+  for (const GatherSeg& g : m.gather) {
+    pool.restore_ref(g.data_h);  // held until ack or give-up
+    m.gather_len += g.len;
+  }
+  m.granted = std::min<u64>(
+      m.total_len(),
+      static_cast<u64>(opts_.unscheduled_segs) * kHomaSegPayload);
+  m.sent = 0;
+  m.done = false;
+  m.retries = 0;
+  m.timer_gen = 0;
+  auto [it, inserted] = tx_.emplace(id, std::move(m));
+  tx_from(it->second, id, it->second.granted);
+  arm_tx_timer(id, it->second);
+  msgs_tx_++;
+  return id;
+}
+
+void HomaEndpoint::release_gather(TxMsg& m) {
+  if (m.gather_pool == nullptr) return;
+  for (const GatherSeg& g : m.gather) m.gather_pool->unref_data(g.data_h, g.cap);
+  m.gather.clear();
+  m.gather_pool = nullptr;
+}
+
+void HomaEndpoint::abandon() {
+  // No pool traffic: the owning host is power-cut and its pools are dead
+  // objects. Leaked volatile metadata is exactly what a real power cut
+  // leaves behind. Bump every timer generation so in-flight timer events
+  // find nothing to do.
+  tx_.clear();
+  rx_.clear();
+  delivered_.clear();
+}
+
+// Builds and sends one wire segment of a gather message starting at
+// message offset `off`: Homa header + any header-region bytes in the
+// linear part, payload ranges attached as refcounted frags (the NIC's
+// scatter-gather DMA reads them in place — no CPU copy, PR 8's idiom).
+// May send less than `want` when the frag slots run out; reassembly is
+// offset-based so variable segment lengths are fine.
+void HomaEndpoint::tx_gather_seg(TxMsg& m, u64 msg_id, u64 off, u64 want) {
+  const u64 hdr_len = m.data.size();
+  const u64 lin =
+      off < hdr_len ? std::min<u64>(want, hdr_len - off) : 0;
+  PktBufPool& pool = *m.gather_pool;
+  PktBuf* pb =
+      pool.alloc(static_cast<u32>(kUdpAllHdrLen + kHomaHdrLen + lin));
+  if (pb == nullptr) return;  // pool exhausted: the sender timer retries
+  pb->len = static_cast<u32>(kUdpAllHdrLen + kHomaHdrLen + lin);
+  pb->payload_off = static_cast<u16>(kUdpAllHdrLen);
+  u8* base = pool.writable(*pb, pb->len).data();
+  WireHomaHdr h{static_cast<u8>(HomaPktType::data), msg_id,
+                static_cast<u32>(off), static_cast<u32>(m.total_len()), 0};
+  encode_homa(h, {base + kUdpAllHdrLen, kHomaHdrLen});
+  if (lin > 0) {
+    std::memcpy(base + kUdpAllHdrLen + kHomaHdrLen, m.data.data() + off, lin);
+    udp_.env().clock().advance(udp_.env().cost.copy_cost(lin));
+  }
+  pool.arena().mark_dirty(pb->data_h, pb->len);
+
+  u64 filled = lin;
+  // Bytes of gather space before this segment's first payload byte.
+  u64 skip = off + lin >= hdr_len ? off + lin - hdr_len : 0;
+  for (const GatherSeg& g : m.gather) {
+    if (filled >= want || pb->nr_frags >= PktBuf::kMaxFrags) break;
+    if (skip >= g.len) {
+      skip -= g.len;
+      continue;
+    }
+    const u32 take =
+        static_cast<u32>(std::min<u64>(g.len - skip, want - filled));
+    (void)pool.add_frag(*pb, g.data_h, take, g.off + static_cast<u32>(skip),
+                        g.cap);
+    filled += take;
+    skip = 0;
+  }
+  (void)udp_.send_pkt_to(m.dst_ip, m.dst_port, port_, pb);
+  m.sent = off + filled;
+}
+
 void HomaEndpoint::tx_from(TxMsg& m, u64 msg_id, u64 upto) {
-  upto = std::min<u64>(upto, m.data.size());
-  while (m.sent < upto || (m.data.empty() && m.sent == 0)) {
-    const u32 off = static_cast<u32>(m.sent);
-    const u32 len = static_cast<u32>(
-        std::min<u64>(kHomaSegPayload, m.data.size() - m.sent));
+  const u64 total = m.total_len();
+  upto = std::min<u64>(upto, total);
+  while (m.sent < upto || (total == 0 && m.sent == 0)) {
+    const u64 off = m.sent;
+    const u64 len = std::min<u64>(kHomaSegPayload, total - off);
     charge_proc();
+    if (m.gather_pool != nullptr) {
+      tx_gather_seg(m, msg_id, off, len);
+      if (m.sent == off) break;  // pool exhausted; retry from the timer
+      continue;
+    }
     std::vector<u8> payload(kHomaHdrLen + len);
-    WireHomaHdr h{static_cast<u8>(HomaPktType::data), msg_id, off,
-                  static_cast<u32>(m.data.size()), 0};
+    WireHomaHdr h{static_cast<u8>(HomaPktType::data), msg_id,
+                  static_cast<u32>(off), static_cast<u32>(total), 0};
     encode_homa(h, payload);
     if (len > 0) std::memcpy(payload.data() + kHomaHdrLen, m.data.data() + off, len);
     (void)udp_.send_to(m.dst_ip, m.dst_port, port_, payload);
     m.sent += len;
-    if (m.data.empty()) break;  // zero-length message: one bare segment
+    if (total == 0) break;  // zero-length message: one bare segment
   }
 }
 
@@ -108,17 +205,27 @@ void HomaEndpoint::send_ctl(u32 dst_ip, u16 dst_port, HomaPktType type,
 
 void HomaEndpoint::arm_tx_timer(u64 msg_id, TxMsg& m) {
   const u64 gen = ++m.timer_gen;
-  udp_.env().engine.schedule_in(opts_.sender_timeout_ns, [this, msg_id, gen] {
+  // Exponential backoff: each consecutive timeout stretches the wait by
+  // backoff_mult (1.0 = the legacy fixed interval).
+  SimTime wait = opts_.sender_timeout_ns;
+  for (int i = 0; i < m.retries; i++) {
+    wait = static_cast<SimTime>(static_cast<double>(wait) * opts_.backoff_mult);
+  }
+  udp_.env().engine.schedule_in(wait, [this, msg_id, gen] {
     auto it = tx_.find(msg_id);
     if (it == tx_.end() || it->second.timer_gen != gen || it->second.done) {
       return;
     }
     TxMsg& m2 = it->second;
     if (++m2.retries > opts_.max_retries) {
+      release_gather(m2);
       tx_.erase(it);  // give up; the message is lost
+      give_ups_++;
+      if (on_give_up) on_give_up(msg_id);
       return;
     }
     // No grant/ack progress: replay everything granted so far.
+    timeouts_++;
     resends_++;
     m2.sent = 0;
     tx_from(m2, msg_id, m2.granted);
@@ -169,6 +276,7 @@ void HomaEndpoint::rx(u32 src_ip, u16 src_port, PktBuf* pb) {
       if (it != tx_.end() && !it->second.done) {
         TxMsg& m = it->second;
         m.granted = std::max<u64>(m.granted, h->grant);
+        m.retries = 0;  // the receiver is alive and granting
         tx_from(m, h->msg_id, m.granted);
         arm_tx_timer(h->msg_id, m);
       }
@@ -182,7 +290,13 @@ void HomaEndpoint::rx(u32 src_ip, u16 src_port, PktBuf* pb) {
         TxMsg& m = it->second;
         resends_++;
         m.sent = std::min<u64>(m.sent, h->offset);  // rewind to the gap
-        tx_from(m, h->msg_id, std::max<u64>(m.granted, h->grant));
+        // A resend nudge doubles as the grant carrier: if every grant
+        // frame is lost, the receiver's timer is the only way the sender
+        // learns its window — and it proves the receiver alive, so the
+        // abandon budget starts over.
+        m.granted = std::max<u64>(m.granted, h->grant);
+        m.retries = 0;
+        tx_from(m, h->msg_id, m.granted);
         arm_tx_timer(h->msg_id, m);
       }
       udp_.pool().free(pb);
@@ -194,6 +308,7 @@ void HomaEndpoint::rx(u32 src_ip, u16 src_port, PktBuf* pb) {
       if (it != tx_.end()) {
         it->second.done = true;
         it->second.timer_gen++;
+        release_gather(it->second);
         tx_.erase(it);
         if (on_sent) on_sent(h->msg_id);
       }
@@ -229,6 +344,7 @@ void HomaEndpoint::rx_data(u32 src_ip, u16 src_port, PktBuf* pb, u64 msg_id,
   } else {
     m.segs.emplace(offset, pb);
     m.received += seg_len;
+    m.nudges = 0;  // data progress restarts the give-up budget
   }
 
   if (m.received >= m.total_len) {

@@ -52,6 +52,10 @@ struct HomaOptions {
   u32 grant_window_segs = 4;  // receiver-granted in-flight limit
   SimTime resend_timeout_ns = 1 * kNsPerMs;
   SimTime sender_timeout_ns = 2 * kNsPerMs;
+  // Sender-timeout growth per retry (1.0 = fixed interval, the legacy
+  // behaviour). The replication layer runs 2.0 so a dead replica's
+  // retransmits thin out instead of hammering the fabric.
+  double backoff_mult = 1.0;
   int max_retries = 10;
 };
 
@@ -63,6 +67,9 @@ class HomaEndpoint {
   std::function<void(HomaDelivery)> on_message;
   // Completion hook for sent messages (acknowledged by the receiver).
   std::function<void(u64 msg_id)> on_sent;
+  // Fires when a sent message exhausts max_retries and is abandoned —
+  // the peer-suspect signal the replication layer keys off.
+  std::function<void(u64 msg_id)> on_give_up;
 
   HomaEndpoint(UdpStack& udp, u16 port, Options opts = Options());
 
@@ -70,9 +77,35 @@ class HomaEndpoint {
   // Returns the message id.
   u64 send_msg(u32 dst_ip, u16 dst_port, std::span<const u8> data);
 
+  // One refcounted byte range of packet data (a gather-send element).
+  struct GatherSeg {
+    u64 data_h;
+    u32 off;
+    u32 len;
+    u32 cap;  // allocation size of the block (for unref)
+  };
+
+  // Zero-copy send: `header` bytes (copied — it is a few tens of bytes
+  // of protocol header) followed by the gather ranges, which are
+  // refcounted out of `pool` and attached to the wire segments as frags
+  // — no payload byte is touched by the CPU (the PR 8 slicing idiom
+  // applied to replication forwarding). The refs are held for the
+  // message lifetime, so retransmits replay from the original blocks,
+  // and dropped on ack or give-up. `pool` must own the gather blocks
+  // (its arena resolves them); it also provides the segment metadata.
+  u64 send_msg_gather(u32 dst_ip, u16 dst_port, std::span<const u8> header,
+                      std::span<const GatherSeg> segs, PktBufPool& pool);
+
+  // Abandon all endpoint state without touching the buffer pool: used
+  // when the owning host is power-cut. Stale timers find empty maps and
+  // no-op instead of dereferencing a dead pool.
+  void abandon();
+
   [[nodiscard]] u64 messages_sent() const noexcept { return msgs_tx_; }
   [[nodiscard]] u64 messages_received() const noexcept { return msgs_rx_; }
   [[nodiscard]] u64 resends() const noexcept { return resends_; }
+  [[nodiscard]] u64 timeouts() const noexcept { return timeouts_; }
+  [[nodiscard]] u64 give_ups() const noexcept { return give_ups_; }
   [[nodiscard]] u64 grants_sent() const noexcept { return grants_tx_; }
   [[nodiscard]] u16 port() const noexcept { return port_; }
 
@@ -80,12 +113,19 @@ class HomaEndpoint {
   struct TxMsg {
     u32 dst_ip;
     u16 dst_port;
-    std::vector<u8> data;
+    std::vector<u8> data;  // header bytes only, for a gather message
+    std::vector<GatherSeg> gather;  // payload ranges after `data`
+    PktBufPool* gather_pool = nullptr;  // holds one ref per gather range
+    u64 gather_len = 0;
     u64 granted;   // bytes the receiver has allowed
     u64 sent;      // bytes transmitted so far (first pass)
     bool done;
     int retries;
     u64 timer_gen;
+
+    [[nodiscard]] u64 total_len() const noexcept {
+      return data.size() + gather_len;
+    }
   };
   struct RxMsg {
     u32 src_ip;
@@ -103,6 +143,8 @@ class HomaEndpoint {
   void rx_data(u32 src_ip, u16 src_port, PktBuf* pb, u64 msg_id, u32 offset,
                u32 total_len);
   void tx_from(TxMsg& m, u64 msg_id, u64 upto);
+  void tx_gather_seg(TxMsg& m, u64 msg_id, u64 off, u64 want);
+  void release_gather(TxMsg& m);
   void send_ctl(u32 dst_ip, u16 dst_port, HomaPktType type, u64 msg_id,
                 u32 offset, u32 total, u32 grant);
   void arm_rx_timer(u64 key, RxMsg& m);
@@ -122,6 +164,8 @@ class HomaEndpoint {
   u64 msgs_tx_ = 0;
   u64 msgs_rx_ = 0;
   u64 resends_ = 0;
+  u64 timeouts_ = 0;
+  u64 give_ups_ = 0;
   u64 grants_tx_ = 0;
 };
 

@@ -6,29 +6,61 @@ void Fabric::attach(u32 ip, std::function<void(WireFrame)> deliver) {
   ports_[ip] = std::move(deliver);
 }
 
+Rng& Fabric::link_rng(u32 dst_ip, u64 seed) {
+  // One independent stream per (seed, link): splitmix the pair so links
+  // with adjacent IPs don't see correlated draws.
+  u64 mix = seed ^ (static_cast<u64>(dst_ip) + 0x9e3779b97f4a7c15ULL);
+  const u64 key = splitmix64(mix);
+  auto it = link_rng_.find(key);
+  if (it == link_rng_.end()) it = link_rng_.emplace(key, Rng(key)).first;
+  return it->second;
+}
+
 void Fabric::inject(u32 dst_ip, WireFrame frame, SimTime depart_at) {
   auto it = ports_.find(dst_ip);
   if (it == ports_.end()) return;  // no route: silently dropped
 
-  if (opts_.loss_p > 0 && env_->rng.chance(opts_.loss_p)) {
+  if (drop_hook_ && drop_hook_(dst_ip, frame)) {
     dropped_++;
     return;
   }
-  if (opts_.corrupt_p > 0 && !frame.bytes.empty() &&
-      env_->rng.chance(opts_.corrupt_p)) {
+
+  const auto lo = link_opts_.find(dst_ip);
+  const Options& o = lo != link_opts_.end() ? lo->second : opts_;
+  const bool draws = o.loss_p > 0 || o.dup_p > 0 || o.reorder_p > 0 ||
+                     o.corrupt_p > 0;
+  // Faults draw from the link's own stream, never env->rng: a lossy link
+  // must not perturb the workload RNG (same contract as pm::FaultPlan).
+  Rng* rng = draws ? &link_rng(dst_ip, o.seed) : nullptr;
+
+  if (o.loss_p > 0 && rng->chance(o.loss_p)) {
+    dropped_++;
+    return;
+  }
+  if (o.corrupt_p > 0 && !frame.bytes.empty() && rng->chance(o.corrupt_p)) {
     // Silent single-bit corruption; checksums must catch it downstream.
-    const u64 byte = env_->rng.next_below(frame.bytes.size());
-    frame.bytes[byte] ^= static_cast<u8>(1u << env_->rng.next_below(8));
+    const u64 byte = rng->next_below(frame.bytes.size());
+    frame.bytes[byte] ^= static_cast<u8>(1u << rng->next_below(8));
     corrupted_++;
   }
-  SimTime arrive = depart_at + env_->cost.scaled(env_->cost.fabric_propagation_ns);
-  if (opts_.reorder_p > 0 && env_->rng.chance(opts_.reorder_p)) {
+  SimTime arrive = depart_at + env_->cost.scaled(env_->cost.fabric_propagation_ns) +
+                   o.delay_ns;
+  if (o.reorder_p > 0 && rng->chance(o.reorder_p)) {
     reordered_++;
-    arrive += static_cast<SimTime>(env_->rng.next_double() *
-                                   static_cast<double>(opts_.reorder_jitter_ns));
+    arrive += static_cast<SimTime>(rng->next_double() *
+                                   static_cast<double>(o.reorder_jitter_ns));
+  }
+  auto& deliver = it->second;
+  if (o.dup_p > 0 && rng->chance(o.dup_p)) {
+    // The switch replays the frame one propagation later (models a
+    // flapping LAG member re-forwarding). Receivers must dedup.
+    duplicated_++;
+    delivered_++;
+    env_->engine.schedule_at(
+        arrive + env_->cost.scaled(env_->cost.fabric_propagation_ns),
+        [&deliver, f = frame]() mutable { deliver(std::move(f)); });
   }
   delivered_++;
-  auto& deliver = it->second;
   env_->engine.schedule_at(arrive,
                            [&deliver, f = std::move(frame)]() mutable {
                              deliver(std::move(f));

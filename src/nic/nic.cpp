@@ -87,6 +87,10 @@ void Nic::set_queue_sink(u32 queue, std::function<void(net::PktBuf*)> sink) {
 }
 
 void Nic::transmit(net::PktBuf* pb) {
+  if (!link_up_) {
+    pb->owner->free(pb);  // dead host: the frame goes nowhere
+    return;
+  }
   // Driver work: descriptor + doorbell (CPU, charged to the caller's
   // core — each core rings its own TX queue's doorbell).
   env_.clock().advance(env_.cost.scaled(env_.cost.nic_tx_ns));
@@ -146,6 +150,7 @@ void Nic::transmit(net::PktBuf* pb) {
 }
 
 void Nic::on_frame(WireFrame frame) {
+  if (!link_up_) return;  // dead host: in-flight frames hit a dark port
   // Parse L2-L4 from the wire bytes first: the RSS engine hashes the
   // 4-tuple *before* DMA so the frame lands in the right queue's
   // pre-posted buffer (header parsing is NIC hardware, not CPU time).

@@ -94,6 +94,13 @@ class Nic final : public net::NetIf {
   void transmit(net::PktBuf* pb) override;
   [[nodiscard]] net::MacAddr mac() const noexcept override { return mac_; }
 
+  // Whole-host fault injection (HostCut): a downed link transmits
+  // nothing and drops every received frame, modelling a powered-off
+  // host from the fabric's point of view. Stale timers on the dead
+  // host may still call transmit(); their frames are silently eaten.
+  void set_link_up(bool up) noexcept { link_up_ = up; }
+  [[nodiscard]] bool link_up() const noexcept { return link_up_; }
+
   [[nodiscard]] u32 ip() const noexcept { return ip_; }
   [[nodiscard]] u32 num_queues() const noexcept {
     return static_cast<u32>(queues_.size());
@@ -184,6 +191,7 @@ class Nic final : public net::NetIf {
   u64 bucket_rx_[kIndirEntries] = {};
   u64 indir_remaps_ = 0;
   SimTime link_free_at_ = 0;
+  bool link_up_ = true;
 
   u64 tx_frames_ = 0;
   u64 rx_frames_ = 0;

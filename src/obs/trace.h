@@ -37,10 +37,11 @@ enum class Stage : u8 {
   alloc_index,
   nic_insert,  // NIC index-engine offload: doorbell + wait + completion
   persist,
+  repl,  // replication: forward to replicas -> remote-quorum durable
   tx,
   rtt,  // client-side whole-request span (issue -> response parsed)
 };
-inline constexpr int kStages = 10;
+inline constexpr int kStages = 11;
 
 [[nodiscard]] constexpr std::string_view to_string(Stage s) noexcept {
   switch (s) {
@@ -52,6 +53,7 @@ inline constexpr int kStages = 10;
     case Stage::alloc_index: return "alloc+index";
     case Stage::nic_insert: return "nic_insert";
     case Stage::persist: return "persist";
+    case Stage::repl: return "repl";
     case Stage::tx: return "tx";
     case Stage::rtt: return "rtt";
   }

@@ -23,6 +23,16 @@ u64 PmDevice::data_base() const noexcept {
   return align_up(sizeof(Header), kCacheLine);
 }
 
+std::unique_ptr<PmDevice> PmDevice::clone_persisted() const {
+  auto d = std::make_unique<PmDevice>(env_, size_);
+  // What the DIMMs hold after the cut: the persisted image, verbatim —
+  // including the root directory. The caches (dirty/pending/deferred)
+  // died with the host.
+  d->mem_ = persisted_;
+  d->persisted_ = persisted_;
+  return d;
+}
+
 void PmDevice::check_range(u64 offset, u64 len) const {
   if (offset > size_ || len > size_ - offset) {
     throw std::out_of_range("PmDevice: access out of range");

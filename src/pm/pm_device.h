@@ -131,6 +131,15 @@ class PmDevice {
     return deferred_.size();
   }
 
+  /// Whole-host fault injection (HostCut): captures the *persisted* image
+  /// as a fresh device — what a rejoining host finds in its DIMMs after
+  /// the cut. Both images of the clone equal this device's persisted
+  /// image; dirty/pending/deferred state is empty (it died with the
+  /// caches) and no fault plan is armed. The cut host's stale volatile
+  /// objects may keep scribbling on *this* device afterwards; recovery
+  /// runs against the frozen clone, so they can't corrupt it.
+  [[nodiscard]] std::unique_ptr<PmDevice> clone_persisted() const;
+
   // --- Crash simulation -------------------------------------------------
   /// Simulates power loss: the volatile image reverts to the persisted one.
   /// clwb'd-but-unfenced lines each survive with probability 1/2 (drawn

@@ -1,0 +1,327 @@
+#include "repl/replica.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "repl/replicator.h"
+
+namespace papm::repl {
+
+namespace {
+
+// Header parsing only — the value bytes are never flattened; they go to
+// the store zero-copy as delivered-packet byte ranges.
+std::vector<u8> head_bytes(const net::HomaDelivery& d, std::size_t n) {
+  return delivery_head(d, n);
+}
+
+}  // namespace
+
+ReplicaNode::ReplicaNode(sim::Env& env, nic::Fabric& fabric,
+                         const ReplicaConfig& cfg)
+    : env_(env), cfg_(cfg) {
+  dev_ = std::make_unique<pm::PmDevice>(env, cfg.pm_size);
+  const u64 base = dev_->data_base();
+  const u64 span = (cfg.pm_size - base - kCacheLine) / kCacheLine * kCacheLine;
+  pm_pool_.emplace(pm::PmPool::create(*dev_, "pkts", base, span));
+  pm_pool_->set_charges(env.cost.pool_alloc_ns, env.cost.pool_alloc_ns / 2);
+  wire_up(fabric);
+  auto root = pm_pool_->alloc(kCacheLine);
+  if (!root.ok()) throw std::runtime_error("ReplicaNode: no PM for root");
+  applied_root_ = root.value();
+  dev_->store_u64(applied_root_, 0);
+  dev_->persist(applied_root_, 8);
+  (void)dev_->set_root("repl.applied", applied_root_);
+  store_.emplace(core::PktStore::create(*pool_, "repl-store", cfg.store_opts));
+  if (pm::kGroupCommitCompiled && cfg.group_commit) {
+    batcher_.emplace(*dev_, cfg.gc_policy);
+    batcher_->register_pool(*pm_pool_);
+    store_->set_batcher(&*batcher_);
+  }
+}
+
+ReplicaNode::ReplicaNode(sim::Env& env, nic::Fabric& fabric,
+                         const ReplicaConfig& cfg,
+                         std::unique_ptr<pm::PmDevice> snapshot)
+    : env_(env), cfg_(cfg), dev_(std::move(snapshot)) {
+  auto pool = pm::PmPool::recover(*dev_, "pkts");
+  if (!pool.ok()) throw std::runtime_error("ReplicaNode: pool recover failed");
+  pm_pool_.emplace(std::move(pool.value()));
+  pm_pool_->set_charges(env.cost.pool_alloc_ns, env.cost.pool_alloc_ns / 2);
+  wire_up(fabric);
+  auto root = dev_->get_root("repl.applied");
+  if (!root.ok()) throw std::runtime_error("ReplicaNode: no applied root");
+  applied_root_ = root.value();
+  applied_seq_ = durable_seq_ = acked_seq_ = dev_->load_u64(applied_root_);
+  auto st = core::PktStore::recover(*pool_, "repl-store", cfg.store_opts);
+  if (!st.ok()) throw std::runtime_error("ReplicaNode: store recover failed");
+  store_.emplace(std::move(st.value()));
+  if (pm::kGroupCommitCompiled && cfg.group_commit) {
+    batcher_.emplace(*dev_, cfg.gc_policy);
+    batcher_->register_pool(*pm_pool_);
+    store_->set_batcher(&*batcher_);
+  }
+}
+
+void ReplicaNode::wire_up(nic::Fabric& fabric) {
+  arena_.emplace(*dev_, *pm_pool_);
+  pool_.emplace(env_, *arena_);
+  nic_.emplace(env_, fabric, cfg_.ip, *pool_, cfg_.nic);
+  net::UdpStack::Options uo;
+  uo.ip = cfg_.ip;
+  uo.kernel_bypass = true;
+  udp_.emplace(env_, *nic_, *pool_, uo);
+  nic_->set_sink([this](net::PktBuf* pb) { udp_->rx(pb); });
+  homa_.emplace(*udp_, cfg_.opts.port, cfg_.opts.homa);
+  homa_->on_message = [this](net::HomaDelivery d) { on_msg(std::move(d)); };
+  m_applies_ = &metrics_.counter("repl.applies");
+  m_acks_tx_ = &metrics_.counter("repl.acks_tx");
+  m_resync_items_ = &metrics_.counter("repl.resync_items");
+}
+
+void ReplicaNode::kill() {
+  alive_ = false;
+  nic_->set_link_up(false);
+  homa_->abandon();
+  dev_->clear_fault_plan();
+  for (auto& [seq, d] : pending_) free_delivery(d);
+  pending_.clear();
+}
+
+void ReplicaNode::free_delivery(net::HomaDelivery& d) { release_delivery(d); }
+
+void ReplicaNode::monitor_primary() {
+  last_hb_ = env_.now();
+  if (monitor_armed_) return;
+  monitor_armed_ = true;
+  const SimTime period = cfg_.opts.hb_timeout_ns / 2;
+  // Self-rescheduling liveness probe: fires until the node dies, is
+  // promoted, or has declared the primary suspect.
+  struct Rearm {
+    ReplicaNode* n;
+    SimTime period;
+    void operator()() const {
+      ReplicaNode* node = n;
+      if (!node->alive_ || node->promoted_ || node->suspect_fired_) {
+        node->monitor_armed_ = false;
+        return;
+      }
+      if (node->env_.now() - node->last_hb_ > node->cfg_.opts.hb_timeout_ns) {
+        node->suspect_fired_ = true;
+        node->monitor_armed_ = false;
+        if (node->on_primary_suspect) node->on_primary_suspect();
+        return;
+      }
+      node->env_.engine.schedule_in(period, Rearm{node, period});
+    }
+  };
+  env_.engine.schedule_in(period, Rearm{this, period});
+}
+
+void ReplicaNode::on_msg(net::HomaDelivery d) {
+  if (!alive_ || d.total_len == 0) {
+    free_delivery(d);
+    return;
+  }
+  const auto head = head_bytes(d, 1);
+  switch (static_cast<MsgKind>(head[0])) {
+    case MsgKind::data:
+      apply_data(d);
+      return;  // apply_data owns the delivery
+    case MsgKind::heartbeat:
+      last_hb_ = env_.now();
+      break;
+    case MsgKind::snap_begin:
+      in_resync_ = true;
+      resync_keys_.clear();
+      break;
+    case MsgKind::snap_item:
+      snap_item(d);
+      break;
+    case MsgKind::snap_end: {
+      const auto ctl = head_bytes(d, kCtlLen);
+      snap_end(get_u64(ctl.data() + 8));
+      break;
+    }
+    case MsgKind::ack:
+      break;  // primary-side message; not ours
+  }
+  free_delivery(d);
+}
+
+void ReplicaNode::apply_data(net::HomaDelivery& d) {
+  const auto hdr = head_bytes(d, kDataHdrLen);
+  const u64 seq = get_u64(hdr.data() + 8);
+  if (seq <= applied_seq_) {
+    // Idempotent replay: a duplicated or retransmitted forward for an
+    // already-applied seq is dropped and the cumulative ack repeated
+    // (the original ack may have been lost).
+    free_delivery(d);
+    acked_seq_ = 0;  // force the re-ack even at an unchanged durable seq
+    send_ack();
+    return;
+  }
+  if (seq != applied_seq_ + 1) {
+    // Out of order: hold until the gap fills.
+    if (!pending_.contains(seq)) {
+      pending_.emplace(seq, std::move(d));
+    } else {
+      free_delivery(d);
+    }
+    return;
+  }
+  {
+    const u16 key_len = get_u16(hdr.data() + 2);
+    const u32 val_len = get_u32(hdr.data() + 4);
+    const auto full = head_bytes(d, kDataHdrLen + key_len);
+    const std::string key(reinterpret_cast<const char*>(full.data()) +
+                              kDataHdrLen,
+                          key_len);
+    apply_one(d, static_cast<OpKind>(hdr[1]), key, kDataHdrLen + key_len,
+              val_len);
+    free_delivery(d);
+  }
+  // Drain any buffered successors that are now contiguous.
+  auto it = pending_.find(applied_seq_ + 1);
+  while (it != pending_.end()) {
+    net::HomaDelivery next = std::move(it->second);
+    pending_.erase(it);
+    const auto h2 = head_bytes(next, kDataHdrLen);
+    const u16 kl = get_u16(h2.data() + 2);
+    const u32 vl = get_u32(h2.data() + 4);
+    const auto f2 = head_bytes(next, kDataHdrLen + kl);
+    const std::string k2(reinterpret_cast<const char*>(f2.data()) +
+                             kDataHdrLen,
+                         kl);
+    apply_one(next, static_cast<OpKind>(h2[1]), k2, kDataHdrLen + kl, vl);
+    free_delivery(next);
+    it = pending_.find(applied_seq_ + 1);
+  }
+}
+
+void ReplicaNode::apply_one(const net::HomaDelivery& d, OpKind op,
+                            std::string_view key, std::size_t val_at,
+                            u32 val_len) {
+  const u64 seq = applied_seq_ + 1;
+  const bool batch = batcher_.has_value();
+  if (batch) batcher_->begin_op(true, static_cast<u64>(env_.now()));
+  store_->set_batched(batch && batcher_->batching());
+  if (op == OpKind::put) {
+    // The value's byte ranges within the delivered packets, zero-copy:
+    // skip the replication header + key, take val_len bytes.
+    std::vector<net::PktBuf*> pkts;
+    std::vector<u32> offs, lens;
+    std::size_t skip = val_at;
+    u64 remaining = val_len;
+    for (std::size_t i = 0; i < d.pkts.size() && remaining > 0; i++) {
+      if (skip >= d.lens[i]) {
+        skip -= d.lens[i];
+        continue;
+      }
+      const u32 take = static_cast<u32>(
+          std::min<u64>(d.lens[i] - skip, remaining));
+      pkts.push_back(d.pkts[i]);
+      offs.push_back(d.offs[i] + static_cast<u32>(skip));
+      lens.push_back(take);
+      remaining -= take;
+      skip = 0;
+    }
+    (void)store_->put_pkts(key, pkts, offs, lens, nullptr);
+  } else {
+    (void)store_->erase(key);
+  }
+  applied_seq_ = seq;
+  applies_++;
+  obs::inc(m_applies_);
+  publish_applied(seq);
+  if (batch) {
+    batcher_->end_op();
+    arm_epoch_drain();
+  }
+}
+
+void ReplicaNode::publish_applied(u64 seq) {
+  if (batcher_.has_value() && batcher_->batching()) {
+    // Deferred publication: the applied-seq word can never be durable
+    // before the content it covers; the ack rides the epoch's commit.
+    batcher_->publish_u64(applied_root_, seq);
+    batcher_->on_committed([this, seq] {
+      durable_seq_ = std::max(durable_seq_, seq);
+      send_ack();
+    });
+    return;
+  }
+  dev_->store_u64(applied_root_, seq);
+  dev_->persist(applied_root_, 8);
+  durable_seq_ = std::max(durable_seq_, seq);
+  send_ack();
+}
+
+void ReplicaNode::send_ack() {
+  if (!alive_ || durable_seq_ == acked_seq_) return;
+  acked_seq_ = durable_seq_;
+  homa_->send_msg(cfg_.primary_ip, cfg_.opts.port,
+                  encode_ctl(MsgKind::ack, durable_seq_));
+  obs::inc(m_acks_tx_);
+}
+
+void ReplicaNode::arm_epoch_drain() {
+  if (!batcher_.has_value() || !batcher_->epoch_open()) return;
+  const u64 serial = batcher_->epoch_serial();
+  const u32 ops = batcher_->ops_in_epoch();
+  env_.engine.schedule_in(
+      static_cast<SimTime>(batcher_->policy().idle_close_ns),
+      [this, serial, ops] {
+        if (!alive_ || !batcher_.has_value() || !batcher_->epoch_open()) return;
+        if (batcher_->epoch_serial() != serial ||
+            batcher_->ops_in_epoch() != ops) {
+          return;  // a newer apply joined; its own drain check follows
+        }
+        batcher_->close();
+      });
+}
+
+void ReplicaNode::snap_item(const net::HomaDelivery& d) {
+  if (!in_resync_) return;
+  const auto hdr = head_bytes(d, kSnapItemHdrLen);
+  const u16 key_len = get_u16(hdr.data() + 2);
+  const u32 val_len = get_u32(hdr.data() + 4);
+  const auto all = head_bytes(d, kSnapItemHdrLen + key_len + val_len);
+  const std::string key(reinterpret_cast<const char*>(all.data()) +
+                            kSnapItemHdrLen,
+                        key_len);
+  const std::span<const u8> val(all.data() + kSnapItemHdrLen + key_len,
+                                val_len);
+  (void)store_->put_bytes(key, val, nullptr);
+  resync_keys_.push_back(key);
+  resync_items_++;
+  obs::inc(m_resync_items_);
+}
+
+void ReplicaNode::snap_end(u64 cut_seq) {
+  if (!in_resync_) return;
+  in_resync_ = false;
+  // Keys the snapshot did not carry were erased on the primary while we
+  // were down: drop them so the stores converge.
+  std::set<std::string> keep(resync_keys_.begin(), resync_keys_.end());
+  std::vector<std::string> stale;
+  store_->scan("", "", [&](std::string_view k, const core::PktStore::ValueMeta&) {
+    if (!keep.contains(std::string(k))) stale.emplace_back(k);
+    return true;
+  });
+  for (const auto& k : stale) store_->erase(k);
+  resync_keys_.clear();
+  applied_seq_ = std::max(applied_seq_, cut_seq);
+  dev_->store_u64(applied_root_, applied_seq_);
+  dev_->persist(applied_root_, 8);
+  durable_seq_ = applied_seq_;
+  acked_seq_ = 0;  // force the post-resync ack
+  send_ack();
+}
+
+void ReplicaNode::send_snapshot(u32 dst_ip, u64 cut_seq) {
+  repl::send_snapshot(*homa_, *store_, dst_ip, cfg_.opts.port, cut_seq);
+}
+
+}  // namespace papm::repl

@@ -79,9 +79,19 @@ class HostCpu {
     if (!free_at_.empty()) start = std::max(arrival, free_at_[core]);
     backlogged_ = start > arrival;
     SimTime charge = 0;
-    env_->clock().begin_scope(start, &charge);
-    std::forward<F>(fn)();
-    env_->clock().end_scope();
+    {
+      // The scope must close even when `fn` throws (a PowerFailure cutting
+      // the host mid-handler): the collector points at the stack local
+      // above, and a leaked scope would leave the global clock reading a
+      // dead frame long after the unwind.
+      struct ScopeCloser {
+        Clock* clk;
+        ~ScopeCloser() { clk->end_scope(); }
+      };
+      env_->clock().begin_scope(start, &charge);
+      const ScopeCloser closer{&env_->clock()};
+      std::forward<F>(fn)();
+    }
     const SimTime done = start + charge;
     if (!free_at_.empty()) {
       free_at_[core] = done;

@@ -107,7 +107,7 @@ TEST_F(UdpTest, DoubleBindRejected) {
 }
 
 TEST_F(UdpTest, CorruptionCaughtByUdpChecksum) {
-  fabric.set_options({0.0, 0.0, 0, /*corrupt_p=*/1.0});
+  fabric.set_options({.corrupt_p = 1.0});
   int delivered = 0;
   ASSERT_TRUE(b.udp
                   .bind(5000,
@@ -227,7 +227,7 @@ class HomaLossy : public ::testing::TestWithParam<double> {};
 
 TEST_P(HomaLossy, ReliableUnderLoss) {
   sim::Env env;
-  nic::Fabric fabric(env, {GetParam(), 0.0, 0, 0.0});
+  nic::Fabric fabric(env, {.loss_p = GetParam()});
   HomaHost a(env, fabric, kAIp, 4000);
   HomaHost b(env, fabric, kBIp, 4000);
 
@@ -251,6 +251,92 @@ TEST_P(HomaLossy, ReliableUnderLoss) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Loss, HomaLossy, ::testing::Values(0.0, 0.02, 0.1));
+
+namespace {
+
+// Reads a field out of a wire frame's Homa header (which starts right
+// after the Ethernet+IP+UDP headers).
+template <typename T>
+T homa_field(const nic::WireFrame& f, std::size_t off) {
+  T v{};
+  std::memcpy(&v, f.bytes.data() + kUdpAllHdrLen + off, sizeof(T));
+  return v;
+}
+
+bool is_homa(const nic::WireFrame& f) {
+  return f.bytes.size() >= kUdpAllHdrLen + kHomaHdrLen;
+}
+
+}  // namespace
+
+TEST_F(HomaTest, RecoversFromLostGrant) {
+  // Cut every grant on its way back to the sender (one lost grant alone
+  // is masked by the re-grant the next data arrival triggers). The
+  // sender stalls at the unscheduled window; recovery must come from the
+  // receiver's resend timer, whose nudge carries the current grant — a
+  // transport where only data retransmits would deadlock here.
+  int grants_dropped = 0;
+  fabric.set_drop_hook([&](u32 dst_ip, const nic::WireFrame& f) {
+    if (dst_ip == kAIp && is_homa(f) &&
+        homa_field<u8>(f, 0) == static_cast<u8>(HomaPktType::grant)) {
+      grants_dropped++;
+      return true;
+    }
+    return false;
+  });
+  std::vector<u8> got;
+  b.homa.on_message = [&](HomaDelivery d) {
+    got = d.bytes(b.pool);
+    for (auto* pb : d.pkts) b.pool.free(pb);
+  };
+  bool acked = false;
+  a.homa.on_sent = [&](u64) { acked = true; };
+  const auto data = rand_bytes(64 * 1024, 21);
+  a.homa.send_msg(kBIp, 4000, data);
+  env.engine.run_until_idle();
+  EXPECT_GT(grants_dropped, 0);
+  EXPECT_EQ(got, data);
+  EXPECT_TRUE(acked);
+  EXPECT_GT(b.homa.resends(), 0u);  // the receiver-side nudge fired
+  EXPECT_EQ(a.homa.give_ups(), 0u);
+}
+
+TEST_F(HomaTest, RecoversFromLostLastSegment) {
+  // Cut exactly the final data segment. Everything granted has been
+  // sent, so the sender is idle waiting for the ack; the receiver's gap
+  // detection must ask for the tail again.
+  int tails_dropped = 0;
+  fabric.set_drop_hook([&](u32 dst_ip, const nic::WireFrame& f) {
+    if (dst_ip != kBIp || tails_dropped != 0 || !is_homa(f)) return false;
+    if (homa_field<u8>(f, 0) != static_cast<u8>(HomaPktType::data)) {
+      return false;
+    }
+    const u32 off = homa_field<u32>(f, 12);
+    const u32 total = homa_field<u32>(f, 16);
+    const auto seg_len =
+        static_cast<u32>(f.bytes.size() - kUdpAllHdrLen - kHomaHdrLen);
+    if (off > 0 && off + seg_len == total) {
+      tails_dropped++;
+      return true;
+    }
+    return false;
+  });
+  std::vector<u8> got;
+  b.homa.on_message = [&](HomaDelivery d) {
+    got = d.bytes(b.pool);
+    for (auto* pb : d.pkts) b.pool.free(pb);
+  };
+  bool acked = false;
+  a.homa.on_sent = [&](u64) { acked = true; };
+  const auto data = rand_bytes(64 * 1024, 22);
+  a.homa.send_msg(kBIp, 4000, data);
+  env.engine.run_until_idle();
+  EXPECT_EQ(tails_dropped, 1);
+  EXPECT_EQ(got, data);
+  EXPECT_TRUE(acked);
+  EXPECT_GT(b.homa.resends(), 0u);
+  EXPECT_EQ(a.homa.give_ups(), 0u);
+}
 
 TEST_F(HomaTest, ZeroCopyIngestFromHomaDelivery) {
   // The §5.2 point: a pktstore can adopt Homa segments exactly like TCP
