@@ -36,7 +36,14 @@ namespace papm::benchio {
 //     `degraded_acks`, and the failover records' `detect_us` /
 //     `failover_us` / `acked_puts` / `acked_lost`. Prior fields
 //     unchanged.
-inline constexpr long long kSchemaVersion = 6;
+// v7: telemetry-plane fields — bench_openloop's `admin` /
+//     `admin_requests` / `admin_scrapes` / `flightrec_records` /
+//     `flightrec_wraps` / `trace_dropped` and the --admin-overhead
+//     record's `p99_base_us` / `p99_admin_us` / `overhead_pct`;
+//     bench_recovery's flightrec records (`cut_event`, `fr_valid`,
+//     `fr_invalid`, `fr_acked`, `fr_lost`, `fr_phantoms`). Prior fields
+//     unchanged.
+inline constexpr long long kSchemaVersion = 7;
 
 // Returns the value following `flag`, or empty if absent.
 inline std::string arg_value(int argc, char** argv, std::string_view flag) {
@@ -186,6 +193,7 @@ inline void write_cost_model(JsonWriter& w, const sim::CostModel& c) {
   w.field("inet_csum_fixed_ns", static_cast<long long>(c.inet_csum_fixed_ns));
   w.field("copy_ns_per_byte", c.copy_ns_per_byte);
   w.field("copy_fixed_ns", static_cast<long long>(c.copy_fixed_ns));
+  w.field("dram_stream_ns_per_byte", c.dram_stream_ns_per_byte);
   w.field("request_prep_ns", static_cast<long long>(c.request_prep_ns));
   w.field("pktstore_prep_ns", static_cast<long long>(c.pktstore_prep_ns));
   w.field("pm_alloc_ns", static_cast<long long>(c.pm_alloc_ns));

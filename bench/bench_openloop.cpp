@@ -29,7 +29,19 @@
 //   --metrics        print the merged metric registries after each point
 //   --no-csum-offload  disable the NIC checksum engines (software csum)
 //   --cost-model     embed the calibrated cost model in the JSON record
-//   --json PATH      machine-readable records (schema v4); two runs with
+//   --admin          arm the live admin plane (/stats, /metrics,
+//                    /trace/recent). Armed-but-unscraped costs zero
+//                    simulated time: an --admin run is byte-identical to
+//                    one without the flag (tier1.sh asserts this)
+//   --flightrec      enable the PM flight recorder on every shard (a
+//                    real persistence cost, excluded from byte-identity)
+//   --admin-overhead paired-run mode: each point runs once bare and once
+//                    with the admin plane armed AND scraped (500 Hz
+//                    cycle over the three endpoints, span rings on).
+//                    Prints and records the p99 delta; exits nonzero if
+//                    it reaches 1% (the admin-plane overhead budget).
+//                    Default sweep narrows to the 10k-conns point
+//   --json PATH      machine-readable records (schema v7); two runs with
 //                    the same flags are byte-identical
 #include <cstdio>
 #include <string>
@@ -46,6 +58,10 @@ namespace {
 struct Point {
   int conns;
   OpenLoopResult r;
+  // --admin-overhead pairing (zeros otherwise).
+  double p99_base_us = 0.0;
+  double p99_admin_us = 0.0;
+  double overhead_pct = 0.0;
 };
 
 Backend backend_from(const std::string& name) {
@@ -65,6 +81,9 @@ int main(int argc, char** argv) {
   const bool no_csum_offload =
       benchio::has_flag(argc, argv, "--no-csum-offload");
   const bool want_cost_model = benchio::has_flag(argc, argv, "--cost-model");
+  const bool admin = benchio::has_flag(argc, argv, "--admin");
+  const bool flightrec = benchio::has_flag(argc, argv, "--flightrec");
+  const bool admin_overhead = benchio::has_flag(argc, argv, "--admin-overhead");
 
   const std::string conns_arg = benchio::arg_value(argc, argv, "--conns");
   const std::string rate_arg = benchio::arg_value(argc, argv, "--rate");
@@ -85,6 +104,10 @@ int main(int argc, char** argv) {
   std::vector<int> conns_sweep;
   if (!conns_arg.empty()) {
     conns_sweep.push_back(std::stoi(conns_arg));
+  } else if (admin_overhead) {
+    // The overhead budget is specified at the 10k-conns point; sweeping
+    // the other points doubles runtime without informing the verdict.
+    conns_sweep = {10'000};
   } else if (quick) {
     conns_sweep = {1'000, 10'000};
   } else {
@@ -117,15 +140,55 @@ int main(int argc, char** argv) {
       cfg.nic.csum_offload_tx = false;
     }
     cfg.collect_metrics = want_metrics;
-    const OpenLoopResult r = run_openloop(cfg);
+    cfg.admin = admin;
+    cfg.flight_recorder = flightrec;
+
+    Point pt;
+    pt.conns = conns;
+    if (admin_overhead) {
+      // Paired runs, identical load: once bare, once with the admin
+      // plane armed and scraped hard (500 Hz over the three endpoints,
+      // span rings feeding /trace/recent). The p99 delta is the cost of
+      // running production telemetry on the datapath cores.
+      const OpenLoopResult base = run_openloop(cfg);
+      OpenLoopRunConfig acfg = cfg;
+      acfg.admin = true;
+      acfg.admin_interval_ns = 2 * kNsPerMs;
+      acfg.trace_capacity = 4096;
+      const OpenLoopResult withadmin = run_openloop(acfg);
+      pt.r = withadmin;
+      pt.p99_base_us = base.p99_us();
+      pt.p99_admin_us = pt.r.p99_us();
+      pt.overhead_pct = pt.p99_base_us > 0.0
+                            ? (pt.p99_admin_us - pt.p99_base_us) /
+                                  pt.p99_base_us * 100.0
+                            : 0.0;
+    } else {
+      pt.r = run_openloop(cfg);
+    }
+    const OpenLoopResult& r = pt.r;
     std::printf("%8d %9.1f %9.1f %8.1f %8.1f %8.1f %7.2f%% %9.3f %6llu "
                 "%8.0f%%\n",
                 conns, r.offered_krps, r.kreq_per_s, r.p50_us(), r.p99_us(),
                 r.p999_us(), r.miss_rate * 100.0, r.imbalance,
                 static_cast<unsigned long long>(r.bucket_moves),
                 r.server_cpu_util * 100.0);
+    if (admin_overhead) {
+      std::printf("%8s admin plane: %llu scrapes answered, %.0f B/body, "
+                  "p99 %.1f -> %.1f us (%+.2f%%)\n",
+                  "", static_cast<unsigned long long>(r.admin_requests),
+                  r.admin_scrapes > 0 ? static_cast<double>(r.admin_bytes) /
+                                            static_cast<double>(r.admin_scrapes)
+                                      : 0.0,
+                  pt.p99_base_us, pt.p99_admin_us, pt.overhead_pct);
+    }
+    if (flightrec) {
+      std::printf("%8s flight recorder: %llu records, %llu wraps\n", "",
+                  static_cast<unsigned long long>(r.flightrec_records),
+                  static_cast<unsigned long long>(r.flightrec_wraps));
+    }
     if (want_metrics) std::printf("%s\n", r.metrics_report.c_str());
-    points.push_back(Point{conns, r});
+    points.push_back(std::move(pt));
   }
 
   if (!json_path.empty()) {
@@ -140,6 +203,9 @@ int main(int argc, char** argv) {
     w.field("rebalance", static_cast<long long>(rebalance ? 1 : 0));
     w.field("measure_ns", static_cast<long long>(seconds * 1e9));
     w.field("csum_offload", no_csum_offload ? "off" : "on");
+    w.field("admin", static_cast<long long>(admin ? 1 : 0));
+    w.field("flightrec", static_cast<long long>(flightrec ? 1 : 0));
+    w.field("admin_overhead", static_cast<long long>(admin_overhead ? 1 : 0));
     if (want_cost_model) {
       w.begin_object("cost_model");
       benchio::write_cost_model(w, sim::CostModel{});
@@ -164,6 +230,17 @@ int main(int argc, char** argv) {
       w.field("bucket_moves", static_cast<long long>(p.r.bucket_moves));
       w.field("conns_migrated", static_cast<long long>(p.r.conns_migrated));
       w.field("indir_remaps", static_cast<long long>(p.r.indir_remaps));
+      w.field("admin_requests", static_cast<long long>(p.r.admin_requests));
+      w.field("admin_scrapes", static_cast<long long>(p.r.admin_scrapes));
+      w.field("flightrec_records",
+              static_cast<long long>(p.r.flightrec_records));
+      w.field("flightrec_wraps", static_cast<long long>(p.r.flightrec_wraps));
+      w.field("trace_dropped", static_cast<long long>(p.r.trace_dropped));
+      if (admin_overhead) {
+        w.field("p99_base_us", p.p99_base_us);
+        w.field("p99_admin_us", p.p99_admin_us);
+        w.field("overhead_pct", p.overhead_pct);
+      }
       w.end_object();
     }
     w.end_array();
@@ -175,6 +252,24 @@ int main(int argc, char** argv) {
     }
     std::printf("\nwrote %s (%zu records)\n", json_path.c_str(),
                 points.size());
+  }
+
+  // The overhead budget is the bench's pass criterion in paired mode: a
+  // telemetry plane that costs >= 1% of p99 under production load is a
+  // regression, not a data point. (A probe that never connected — zero
+  // scrapes — would vacuously pass; require it did real work.)
+  if (admin_overhead) {
+    for (const Point& p : points) {
+      if (p.r.admin_requests == 0 || p.overhead_pct >= 1.0) {
+        std::fprintf(stderr,
+                     "bench_openloop: FAIL admin overhead conns=%d "
+                     "scrapes=%llu p99 %.1f -> %.1f us (%+.2f%%, budget 1%%)\n",
+                     p.conns,
+                     static_cast<unsigned long long>(p.r.admin_requests),
+                     p.p99_base_us, p.p99_admin_us, p.overhead_pct);
+        return 1;
+      }
+    }
   }
   return 0;
 }

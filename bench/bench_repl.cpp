@@ -21,8 +21,13 @@
 // Flags:
 //   --quick        shorter windows
 //   --seconds S    R1 measurement window in simulated seconds (default 0.12)
-//   --json PATH    machine-readable records (schema v6); two runs with
+//   --json PATH    machine-readable records (schema v7); two runs with
 //                  the same flags are byte-identical
+//   --trace PATH   run a short traced quorum=2 experiment and write one
+//                  stitched Chrome/Perfetto trace: the primary's shard
+//                  track, the client track, and one apply track per
+//                  replica (`repl_apply` spans keyed by the primary's
+//                  trace id) — the quorum tax as a cross-track span
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -123,6 +128,30 @@ int main(int argc, char** argv) {
                   r.detected && r.settled ? "" : "  [INCOMPLETE]");
       fo.push_back(FailoverPoint{q, r});
     }
+  }
+
+  const std::string trace_path = benchio::arg_value(argc, argv, "--trace");
+  if (!trace_path.empty() && repl::kReplCompiled) {
+    // A short traced run is all Perfetto needs; the full windows above
+    // would produce a trace file in the hundreds of megabytes.
+    RunConfig cfg = tax_base(5 * kNsPerMs, 1);
+    cfg.repl = true;
+    cfg.repl_replicas = 2;
+    cfg.repl_opts.quorum = 2;
+    cfg.trace = true;
+    const RunResult r = run_experiment(cfg);
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_repl: cannot write %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::fwrite(r.trace_json.data(), 1, r.trace_json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s (stitched trace: %llu ops, repl_apply mean "
+                "%.2f us across replica tracks)\n",
+                trace_path.c_str(), static_cast<unsigned long long>(r.ops),
+                r.attribution.mean_ns(obs::Stage::repl_apply) / 1000.0);
   }
 
   if (!json_path.empty()) {

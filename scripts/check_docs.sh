@@ -67,6 +67,18 @@ for m in $metrics; do
   fi
 done
 
+# Every name /metrics exposes must be documented under its Prometheus
+# spelling too: "papm_" + the registry name with every non-alphanumeric
+# byte replaced by '_' (src/obs/export.cpp prometheus_name). A dashboard
+# built against /metrics greps for these, not the registry names.
+for m in $metrics; do
+  p="papm_$(printf '%s' "$m" | sed -E 's/[^a-zA-Z0-9]/_/g')"
+  if ! grep -qF "$p" docs/OBSERVABILITY.md; then
+    echo "check_docs: /metrics name '$p' (registry name '$m') is not documented in docs/OBSERVABILITY.md" >&2
+    missing=1
+  fi
+done
+
 if [ "$missing" -ne 0 ]; then
   echo "check_docs: FAILED" >&2
   exit 1

@@ -13,7 +13,12 @@
 # datapath builds, tests green, and produces bit-identical bench records
 # (the OFF build is not a perf fork). Also lints the docs (every bench
 # binary must have an EXPERIMENTS.md section; every registered metric an
-# entry in docs/OBSERVABILITY.md).
+# entry in docs/OBSERVABILITY.md), and verifies the telemetry plane:
+# an armed-but-unscraped admin plane is byte-identical to the baseline,
+# a scraped one stays under the 1%-of-p99 overhead budget, the
+# flight-recorder crash sweep loses no acked record and recovers no
+# phantom, and the PAPM_OBS=OFF build compiles the whole plane out
+# bit-identically even with every plane flag raised.
 # Run from the repository root.
 set -euo pipefail
 
@@ -45,6 +50,24 @@ build/bench/bench_repl --quick --json build/repl_b.json
 cmp build/repl_a.json build/repl_b.json
 echo "bench_repl: reruns byte-identical (and zero acked writes lost)"
 
+echo "== tier-1: admin plane armed-but-unscraped is free (byte-identity) =="
+# An --admin run must be bit-identical to the baseline: the endpoint
+# branch only runs for admin targets, so arming the plane costs zero
+# simulated time. Only the recorded flag itself may differ.
+build/bench/bench_openloop --conns 1000 --seconds 1 --admin --json build/openloop_admin.json
+sed 's/"admin": 1/"admin": 0/' build/openloop_admin.json | cmp - build/openloop_a.json
+echo "bench_openloop: --admin run bit-identical to baseline"
+
+echo "== tier-1: admin overhead budget (<1% of p99, scraped at 500 Hz) =="
+build/bench/bench_openloop --admin-overhead --seconds 0.1
+echo "bench_openloop: admin overhead within budget"
+
+echo "== tier-1: flight-recorder crash sweep (acked prefix, no phantoms) =="
+build/bench/bench_recovery --flightrec --json build/flightrec_a.json
+build/bench/bench_recovery --flightrec --json build/flightrec_b.json
+cmp build/flightrec_a.json build/flightrec_b.json
+echo "bench_recovery: flightrec sweep clean and byte-identical"
+
 echo "== tier-1: ASan+UBSan build =="
 cmake --preset asan >/dev/null
 cmake --build build-asan -j
@@ -58,6 +81,16 @@ echo "== tier-1: PAPM_OBS=OFF build (kill switch) =="
 cmake --preset noobs >/dev/null
 cmake --build build-noobs -j
 ctest --test-dir build-noobs --output-on-failure -j
+# The whole telemetry plane compiles out: an OBS=OFF run with every
+# plane flag raised must be bit-identical to the default baseline —
+# modulo the metadata fields that record the build and the flags.
+build-noobs/bench/bench_openloop --conns 1000 --seconds 1 --admin --flightrec \
+  --json build/openloop_noobs.json
+sed -e 's/"obs": "off"/"obs": "on"/' \
+    -e 's/"admin": 1/"admin": 0/' \
+    -e 's/"flightrec": 1/"flightrec": 0/' build/openloop_noobs.json \
+  | cmp - build/openloop_a.json
+echo "bench_openloop: PAPM_OBS=OFF telemetry plane compiled out bit-identically"
 
 echo "== tier-1: PAPM_GROUP_COMMIT=OFF build (legacy fence-per-op path) =="
 cmake --preset nogc >/dev/null

@@ -17,6 +17,72 @@ constexpr u32 kOpenLoopClientBase = 0x0a010000;
 // leave ~32k; half that keeps a comfortable margin).
 constexpr int kMaxConnsPerClientHost = 16'000;
 
+// Admin host: 10.0.0.3, a dedicated machine for the scrape probe so its
+// (tiny) client-side costs never touch the load generators.
+constexpr u32 kAdminIp = 0x0a000003;
+
+// Periodic scrape of the admin plane — the Prometheus-sidecar role. One
+// connection cycling GET /stats -> /metrics -> /trace/recent at a fixed
+// period, sharing the fabric and the server's datapath cores with the
+// measured load; whatever it costs the tail is the admin overhead.
+class AdminProbe {
+ public:
+  AdminProbe(Host& host, u32 server_ip, u16 port, SimTime period)
+      : host_(host), server_ip_(server_ip), port_(port), period_(period) {}
+
+  void start() {
+    conn_ = host_.stack().connect(server_ip_, port_);
+    conn_->on_established = [this](net::TcpConn&) { tick(); };
+    conn_->on_readable = [this](net::TcpConn&) { on_readable(); };
+  }
+  void stop() noexcept { stopped_ = true; }
+  [[nodiscard]] u64 scrapes() const noexcept { return scrapes_; }
+  [[nodiscard]] u64 bytes() const noexcept { return bytes_; }
+  void reset_stats() noexcept { scrapes_ = bytes_ = 0; }
+
+ private:
+  void tick() {
+    if (stopped_ || conn_ == nullptr ||
+        conn_->state() != net::TcpState::established) {
+      return;
+    }
+    host_.env().engine.schedule_in(period_, [this] { tick(); });
+    if (in_flight_) return;  // slow scrape: skip a beat, never pipeline
+    in_flight_ = true;
+    static constexpr const char* kTargets[3] = {"/stats", "/metrics",
+                                                "/trace/recent"};
+    auto& env = host_.env();
+    env.clock().advance(env.cost.scaled(env.cost.client_http_build_ns));
+    http::Request req;
+    req.method = http::Method::get;
+    req.target = kTargets[next_++ % 3];
+    (void)conn_->send(http::serialize(req));
+  }
+  void on_readable() {
+    std::vector<u8> buf(4096);
+    std::size_t n;
+    while ((n = conn_->read(buf)) > 0) {
+      const auto resp = parser_.feed(std::span<const u8>(buf.data(), n));
+      if (!resp.has_value()) continue;
+      in_flight_ = false;
+      scrapes_++;
+      bytes_ += resp->body.size();
+    }
+  }
+
+  Host& host_;
+  u32 server_ip_;
+  u16 port_;
+  SimTime period_;
+  net::TcpConn* conn_ = nullptr;
+  http::ResponseParser parser_;
+  std::size_t next_ = 0;
+  bool in_flight_ = false;
+  bool stopped_ = false;
+  u64 scrapes_ = 0;
+  u64 bytes_ = 0;
+};
+
 // max/mean of the per-shard request counts (1.0 when even or trivial).
 double shard_imbalance(const std::vector<u64>& reqs) {
   if (reqs.size() < 2) return 1.0;
@@ -61,6 +127,9 @@ RunResult run_experiment(const RunConfig& cfg) {
   scfg.lsm_wal = cfg.lsm_wal;
   scfg.pkt_opts = cfg.pkt_opts;
   scfg.trace = cfg.trace;
+  scfg.trace_capacity = cfg.trace_capacity;
+  scfg.flight_recorder = cfg.flight_recorder;
+  scfg.flightrec_capacity = cfg.flightrec_capacity;
   KvServer server(server_host, scfg);
 
   // Replication testbed: R backup hosts plus the primary-side forwarder.
@@ -72,6 +141,7 @@ RunResult run_experiment(const RunConfig& cfg) {
       repl::ReplicaConfig rc;
       rc.ip = kReplicaIpBase + i;
       rc.primary_ip = kServerIp;
+      rc.index = i;
       rc.opts = cfg.repl_opts;
       rc.store_opts = cfg.pkt_opts;
       replicas.push_back(std::make_unique<repl::ReplicaNode>(env, fabric, rc));
@@ -105,9 +175,12 @@ RunResult run_experiment(const RunConfig& cfg) {
   client.reset_stats();
   server.reset_stats();
   // Warmup/measure boundary: zero every counter and span so the exported
-  // observability covers exactly the measurement window.
+  // observability covers exactly the measurement window. The replica
+  // hosts' logs too — a stitched trace must not carry warmup-era apply
+  // spans that no longer have a primary-side counterpart.
   server_host.reset_obs();
   client_host.reset_obs();
+  for (auto& node : replicas) node->trace().clear();
   const SimTime busy_before = server_host.cpu().busy_ns();
 
   env.engine.run_until(cfg.warmup_ns + cfg.measure_ns);
@@ -162,9 +235,16 @@ RunResult run_experiment(const RunConfig& cfg) {
   if (cfg.trace) {
     obs::TraceLog merged = server_host.merged_trace();
     merged.merge_from(client.trace());
+    // Cross-host stitching: the replicas' apply spans carry the primary's
+    // trace ids, so merging their logs puts primary, client and replicas
+    // in one Perfetto trace — the quorum tax as a cross-track span.
+    for (const auto& node : replicas) merged.merge_from(node->trace());
     r.attribution = obs::attribute(merged);
     r.trace_json = obs::chrome_trace_json(merged);
+    r.trace_dropped = merged.dropped();
   }
+  r.flightrec_records = server.flightrec_records();
+  r.flightrec_wraps = server.flightrec_wraps();
   return r;
 }
 
@@ -199,6 +279,7 @@ FailoverResult run_failover(const FailoverConfig& cfg) {
     repl::ReplicaConfig rc;
     rc.ip = kReplicaIpBase + i;
     rc.primary_ip = kServerIp;
+    rc.index = i;
     rc.opts = cfg.repl;
     rc.store_opts = cfg.pkt_opts;
     rc.nic = cfg.nic;
@@ -332,6 +413,11 @@ OpenLoopResult run_openloop(const OpenLoopRunConfig& cfg) {
   scfg.knobs = cfg.knobs;
   scfg.lsm_wal = cfg.lsm_wal;
   scfg.pkt_opts = cfg.pkt_opts;
+  scfg.admin = cfg.admin;
+  scfg.trace = cfg.trace_capacity > 0;
+  scfg.trace_capacity = cfg.trace_capacity;
+  scfg.flight_recorder = cfg.flight_recorder;
+  scfg.flightrec_capacity = cfg.flightrec_capacity;
   KvServer server(server_host, scfg);
 
   // Big sweeps need their SYNs spread out and the warmup stretched to
@@ -390,6 +476,21 @@ OpenLoopResult run_openloop(const OpenLoopRunConfig& cfg) {
     rebalancer->start();
   }
 
+  // The scrape probe, on its own machine. Only with a nonzero period:
+  // cfg.admin alone arms the endpoints without generating any traffic
+  // (the byte-identity configuration).
+  std::optional<Host> admin_host;
+  std::optional<AdminProbe> probe;
+  if (cfg.admin && cfg.admin_interval_ns > 0) {
+    HostConfig ahc;
+    ahc.ip = kAdminIp;
+    ahc.cores = 0;
+    ahc.busy_poll = false;
+    ahc.nic = cfg.nic;
+    admin_host.emplace(env, fabric, ahc);
+    probe.emplace(*admin_host, kServerIp, scfg.port, cfg.admin_interval_ns);
+  }
+
   // Prime the whole keyspace (same per-key value convention as the
   // generators) so measured GETs read real data instead of 404ing on a
   // cold store. Priming is setup: it charges no simulated time.
@@ -401,15 +502,20 @@ OpenLoopResult run_openloop(const OpenLoopRunConfig& cfg) {
   }
 
   for (auto& c : clients) c->start();
+  if (probe.has_value()) probe->start();  // scraping spans the warmup too
   env.engine.run_until(warmup);
   for (auto& c : clients) c->reset_stats();
   server.reset_stats();
   server_host.reset_obs();
   for (auto& ch : client_hosts) ch->reset_obs();
+  if (probe.has_value()) probe->reset_stats();
+  const u64 admin_before = server.admin_requests();
+  const u64 flightrec_before = server.flightrec_records();
   const SimTime busy_before = server_host.cpu().busy_ns();
 
   env.engine.run_until(warmup + cfg.measure_ns);
   for (auto& c : clients) c->stop();
+  if (probe.has_value()) probe->stop();
 
   OpenLoopResult r;
   for (auto& c : clients) {
@@ -439,6 +545,16 @@ OpenLoopResult run_openloop(const OpenLoopRunConfig& cfg) {
     r.rebalance_rounds = rebalancer->rounds();
     r.bucket_moves = rebalancer->bucket_moves();
     r.conns_migrated = rebalancer->conns_moved();
+  }
+  r.admin_requests = server.admin_requests() - admin_before;
+  if (probe.has_value()) {
+    r.admin_scrapes = probe->scrapes();
+    r.admin_bytes = probe->bytes();
+  }
+  r.flightrec_records = server.flightrec_records() - flightrec_before;
+  r.flightrec_wraps = server.flightrec_wraps();
+  if (cfg.trace_capacity > 0) {
+    r.trace_dropped = server_host.merged_trace().dropped();
   }
   if (cfg.collect_metrics) {
     const obs::MetricRegistry sm = server_host.merged_metrics();

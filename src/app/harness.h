@@ -54,10 +54,15 @@ struct RunConfig {
   nic::Nic::Options nic;
   u64 seed = 42;
 
-  // Observability. Both are measurement-window scoped (reset at the
+  // Observability. All are measurement-window scoped (reset at the
   // warmup boundary) and no-ops under PAPM_OBS=OFF.
   bool collect_metrics = false;  // fill metrics_report / metrics_json
   bool trace = false;            // per-request spans -> attribution + JSON
+  std::size_t trace_capacity = 0;  // span ring per shard (0 = unbounded)
+  // PM flight recorder (src/obs/flightrec.h): one ring per server shard,
+  // written through the datapath's group-commit epochs.
+  bool flight_recorder = false;
+  u32 flightrec_capacity = 4096;
 };
 
 struct RunResult {
@@ -91,7 +96,12 @@ struct RunResult {
   pm::PmDevice::FlushEpoch flush{};     // clwb/sfence totals for the window
   std::string metrics_report;           // human table: server + client
   std::string metrics_json;             // {"server": {...}, "client": {...}}
-  std::string trace_json;               // Chrome trace_events (Perfetto)
+  std::string trace_json;               // Chrome trace_events (Perfetto);
+                                        // includes replica apply tracks
+                                        // when repl + trace are both on
+  u64 flightrec_records = 0;  // flight records appended in the window
+  u64 flightrec_wraps = 0;    // ring wraps among them
+  u64 trace_dropped = 0;      // spans evicted by the trace ring
 
   [[nodiscard]] double mean_rtt_us() const { return rtt.mean() / 1000.0; }
   [[nodiscard]] double p99_rtt_us() const {
@@ -136,6 +146,22 @@ struct OpenLoopRunConfig {
   nic::Nic::Options nic;
   u64 seed = 42;
   bool collect_metrics = false;
+
+  // Telemetry plane. `admin` arms /stats, /metrics and /trace/recent on
+  // the server; armed-but-unscraped costs zero simulated time (the admin
+  // branch only fires on admin URLs), so an --admin run without a
+  // scraper is byte-identical to one without the flag. A nonzero
+  // admin_interval_ns additionally runs a scrape probe from its own
+  // client host, cycling the three endpoints at that period — that is
+  // the configuration the <1% p99 overhead budget is measured in.
+  bool admin = false;
+  SimTime admin_interval_ns = 0;
+  // Server-side span collection for /trace/recent: per-shard span rings
+  // (bounded; obs.trace_dropped counts evictions). 0 leaves tracing off.
+  std::size_t trace_capacity = 0;
+  // PM flight recorder on the server datapath.
+  bool flight_recorder = false;
+  u32 flightrec_capacity = 4096;
 };
 
 struct OpenLoopResult {
@@ -156,6 +182,14 @@ struct OpenLoopResult {
   u64 bucket_moves = 0;
   u64 conns_migrated = 0;
   u64 indir_remaps = 0;
+
+  // Telemetry plane activity (zeros unless cfg.admin / flight_recorder).
+  u64 admin_requests = 0;  // admin GETs the server answered
+  u64 admin_scrapes = 0;   // responses the scrape probe completed
+  u64 admin_bytes = 0;     // admin response body bytes delivered
+  u64 flightrec_records = 0;
+  u64 flightrec_wraps = 0;
+  u64 trace_dropped = 0;
 
   std::string metrics_report;
   std::string metrics_json;

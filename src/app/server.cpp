@@ -6,6 +6,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/export.h"
+
 namespace papm::app {
 
 namespace {
@@ -133,6 +135,27 @@ KvServer::KvServer(Host& host, const ServerConfig& cfg)
     sh.m_req_ns = &reg.histogram("server.req_ns");
     if (sh.lsm.has_value()) sh.lsm->set_metrics(&reg);
     if (sh.pktstore.has_value()) sh.pktstore->set_metrics(&reg);
+    // Telemetry plane (all runtime opt-in, compiled out with PAPM_OBS=OFF
+    // so the flags are accepted but cost nothing — the kill-switch build
+    // stays bit-identical even with the plane armed).
+    if constexpr (obs::kEnabled) {
+      if (cfg.trace_capacity != 0) {
+        host_.trace(i).set_capacity(cfg.trace_capacity);
+        host_.trace(i).set_dropped_counter(&reg.counter("obs.trace_dropped"));
+      }
+      if (cfg.admin) sh.m_admin = &reg.counter("admin.requests");
+      if (cfg.flight_recorder && host_.pm_backed()) {
+        auto fr = obs::FlightRecorder::create(
+            host_.pm_device(), host_.pm_pool(i), static_cast<u16>(i),
+            cfg.flightrec_capacity);
+        if (!fr.ok()) {
+          throw std::runtime_error("KvServer: no PM for flight recorder");
+        }
+        sh.flightrec.emplace(std::move(fr.value()));
+        if (sh.batcher.has_value()) sh.flightrec->set_batcher(&*sh.batcher);
+        sh.flightrec->set_metrics(&reg);
+      }
+    }
     const Status st = host_.stack(i).listen(
         cfg.port, [this, i](net::TcpConn& c) { on_accept(c, i); });
     if (!st.ok()) throw std::runtime_error("KvServer: listen failed");
@@ -366,8 +389,98 @@ KvServer::Shard* KvServer::find_pkt_shard(std::string_view key, u32 home) {
   return nullptr;
 }
 
+bool KvServer::admin_dispatch(net::TcpConn& conn, ConnState& st) {
+  if (!obs::kEnabled || !cfg_.admin) return false;
+  if (st.method != http::Method::get) return false;
+  const bool trace_recent = st.key.starts_with("/trace/recent");
+  if (st.key != "/stats" && st.key != "/metrics" && !trace_recent) {
+    return false;
+  }
+  auto& env = host_.env();
+
+  // Snapshot via the registries' associative merge — the datapath shards
+  // are never locked or paused; the admin request pays for its own copy.
+  std::string body;
+  if (st.key == "/metrics") {
+    body = obs::prometheus_text(host_.merged_metrics());
+  } else if (trace_recent) {
+    body = obs::trace_recent_json(host_.merged_trace(), cfg_.trace_recent);
+  } else {
+    const obs::MetricRegistry merged = host_.merged_metrics();
+    body = "{\"now_ns\": " + std::to_string(env.now()) +
+           ", \"ops\": " + std::to_string(ops_) +
+           ", \"errors\": " + std::to_string(errors_) +
+           ", \"admin_requests\": " + std::to_string(admin_requests_) +
+           ", \"shards\": " + std::to_string(shards_.size()) +
+           ", \"shard_requests\": [";
+    for (std::size_t i = 0; i < shards_.size(); i++) {
+      body += (i == 0 ? "" : ", ") + std::to_string(shards_[i].requests);
+    }
+    body += "], \"flightrec_records\": " + std::to_string(flightrec_records()) +
+            ", \"flightrec_wraps\": " + std::to_string(flightrec_wraps()) +
+            ", \"metrics\": " + merged.to_json() + "}";
+  }
+  // The snapshot assembly is real work on this shard's core — sequential
+  // DRAM string building, charged at the streaming rate (a PM-copy rate
+  // here would bill telemetry like datapath persistence and blow the
+  // 1%-of-p99 admin budget on every /trace/recent hit).
+  env.clock().advance(env.cost.stream_cost(body.size()));
+  admin_requests_++;
+  obs::inc(shards_[st.shard].m_admin);
+  respond(conn, 200,
+          std::span<const u8>(reinterpret_cast<const u8*>(body.data()),
+                              body.size()));
+
+  for (net::PktBuf* pb : st.pkts) net::PktBufPool::release(pb);
+  ConnState fresh;
+  fresh.shard = st.shard;
+  std::swap(conns_[&conn], fresh);
+  return true;
+}
+
+void KvServer::flight_record(ConnState& st, const storage::OpBreakdown* bd,
+                             u64 req, int status) {
+  Shard& sh = shards_[st.shard];
+  if (!sh.flightrec.has_value()) return;
+  const auto ns32 = [](SimTime ns) {
+    return ns <= 0 ? 0u
+                   : static_cast<u32>(std::min<SimTime>(ns, 0xffffffff));
+  };
+  obs::FlightRecord fr;
+  fr.req = req;
+  fr.t0_ns = static_cast<u64>(st.rx_start);
+  fr.epoch = sh.batcher.has_value() && sh.batcher->batching()
+                 ? sh.batcher->epoch_serial()
+                 : 0;
+  if (st.rx_start != 0 && st.parse_ts >= st.rx_start) {
+    fr.stage_ns[static_cast<int>(obs::Stage::rx)] =
+        ns32(st.parse_ts - st.rx_start);
+  }
+  fr.stage_ns[static_cast<int>(obs::Stage::parse)] = ns32(st.parse_dur);
+  if (bd != nullptr) {
+    fr.stage_ns[static_cast<int>(obs::Stage::parse)] += ns32(bd->prep_ns);
+    fr.stage_ns[static_cast<int>(obs::Stage::checksum)] = ns32(bd->checksum_ns);
+    fr.stage_ns[static_cast<int>(obs::Stage::slice)] = ns32(bd->slice_ns);
+    fr.stage_ns[static_cast<int>(obs::Stage::copy)] = ns32(bd->copy_ns);
+    fr.stage_ns[static_cast<int>(obs::Stage::alloc_index)] =
+        ns32(bd->alloc_insert_ns);
+    fr.stage_ns[static_cast<int>(obs::Stage::nic_insert)] =
+        ns32(bd->nic_insert_ns);
+    fr.stage_ns[static_cast<int>(obs::Stage::persist)] = ns32(bd->persist_ns);
+  }
+  fr.result = static_cast<u16>(status);
+  switch (st.method) {
+    case http::Method::put: fr.op = 'P'; break;
+    case http::Method::get: fr.op = 'G'; break;
+    case http::Method::del: fr.op = 'D'; break;
+    default: fr.op = '?'; break;
+  }
+  sh.flightrec->append(fr);
+}
+
 void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
   auto& env = host_.env();
+  if (admin_dispatch(conn, st)) return;
   Shard& sh = shards_[st.shard];
   // Group-commit / cache-warmth regime: requests queued behind the core.
   const bool batched = host_.cpu().backlogged();
@@ -587,6 +700,12 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
     emit(obs::Stage::persist, bd.persist_ns);
   }
 
+  // The request's flight-recorder row goes down *before* the ack path:
+  // under group commit its publication rides the same epoch whose close
+  // releases the ack, and in pass-through mode it persists before the
+  // response — either way an acked op is always recoverable.
+  if constexpr (obs::kEnabled) flight_record(st, bdp, tr.req(), status);
+
   // Durable mutations inside an open epoch ack only once the epoch's
   // fences retire (group commit's correctness condition); reads and
   // failures that never touched durable state respond immediately.
@@ -628,11 +747,14 @@ void KvServer::dispatch(net::TcpConn& conn, ConnState& st) {
         gate->remote_at = host_.env().now();
         gate_release(gate);
       };
+      // Traced requests carry their id across the wire so the replica's
+      // apply span stitches into the same Perfetto trace.
+      const u64 trace_id = tr.active() ? tr.req() : 0;
       if (st.method == http::Method::put) {
         repl_->submit_put(st.key, repl_segs, static_cast<u32>(st.body_len),
-                          host_.pool(st.shard), std::move(done));
+                          host_.pool(st.shard), std::move(done), trace_id);
       } else {
-        repl_->submit_erase(st.key, std::move(done));
+        repl_->submit_erase(st.key, std::move(done), trace_id);
       }
       gate_release(gate);  // quorum=1 resolves synchronously
     } else if (defer_ack) {

@@ -34,6 +34,7 @@
 #include "app/host.h"
 #include "core/pktstore.h"
 #include "http/http.h"
+#include "obs/flightrec.h"
 #include "obs/trace.h"
 #include "repl/replicator.h"
 #include "storage/lsm_store.h"
@@ -63,6 +64,28 @@ struct ServerConfig {
   // (rx/parse/checksum/copy/alloc+index/persist/tx). Requires
   // collect_breakdown for the data-management stages.
   bool trace = false;
+
+  // --- Telemetry plane (runtime opt-in; fully inert with PAPM_OBS=OFF,
+  // and an *armed but unqueried* admin plane costs the datapath nothing
+  // — the endpoint branch only runs for admin targets). ----------------
+  // Serve GET /stats, /metrics (Prometheus text) and /trace/recent on
+  // the KV port, from merge_from() snapshots of the shared-nothing
+  // registries/logs — the hot path is never locked or paused.
+  bool admin = false;
+  // Span cap for one /trace/recent response.
+  // /trace/recent page size. Small by design: the page is assembled and
+  // sent on a datapath core, so its bytes (copy + per-segment tx) are
+  // the dominant term in the admin plane's p99 footprint — 32 spans is
+  // one scrape page, the full log belongs in the bench-exit trace file.
+  std::size_t trace_recent = 32;
+  // Per-shard TraceLog ring capacity for long-running serving (0 keeps
+  // the unbounded bench-exit behaviour). Wraps count obs.trace_dropped.
+  std::size_t trace_capacity = 0;
+  // PM-persistent flight recorder: a per-shard ring of the last
+  // flightrec_capacity request records, written through the group-commit
+  // path so recovery after a cut sees every acked op (docs/OBSERVABILITY.md).
+  bool flight_recorder = false;
+  u32 flightrec_capacity = 4096;
 };
 
 class KvServer {
@@ -118,6 +141,32 @@ class KvServer {
   }
   [[nodiscard]] u64 breakdown_ops() const noexcept { return breakdown_ops_; }
   [[nodiscard]] u64 errors() const noexcept { return errors_; }
+
+  // --- Telemetry plane ---------------------------------------------------
+  // Admin requests served (/stats + /metrics + /trace/recent). Admin
+  // traffic is deliberately excluded from ops()/shard_requests(): it must
+  // not perturb the load-balance signal it reports on.
+  [[nodiscard]] u64 admin_requests() const noexcept { return admin_requests_; }
+  [[nodiscard]] obs::FlightRecorder* flight_recorder(u32 shard) noexcept {
+    return shard < shards_.size() && shards_[shard].flightrec.has_value()
+               ? &*shards_[shard].flightrec
+               : nullptr;
+  }
+  // Records appended / ring overwrites summed across the shard recorders.
+  [[nodiscard]] u64 flightrec_records() const noexcept {
+    u64 n = 0;
+    for (const auto& sh : shards_) {
+      if (sh.flightrec.has_value()) n += sh.flightrec->seq();
+    }
+    return n;
+  }
+  [[nodiscard]] u64 flightrec_wraps() const noexcept {
+    u64 n = 0;
+    for (const auto& sh : shards_) {
+      if (sh.flightrec.has_value()) n += sh.flightrec->wraps();
+    }
+    return n;
+  }
   void reset_stats() {
     ops_ = 0;
     errors_ = 0;
@@ -145,6 +194,9 @@ class KvServer {
     // never stall a closed-loop client.
     std::optional<pm::FlushBatcher> batcher;
     bool watchdog_armed = false;
+    // PM flight recorder (ServerConfig::flight_recorder): the last N
+    // requests of this shard survive a power cut.
+    std::optional<obs::FlightRecorder> flightrec;
     // raw_persist bump region (recycled; models the Fig.2 simple app).
     u64 raw_region = 0;
     u64 raw_off = 0;
@@ -156,6 +208,7 @@ class KvServer {
     obs::Counter* m_errors = nullptr;
     obs::Counter* m_parsed = nullptr;
     obs::Histogram* m_req_ns = nullptr;
+    obs::Counter* m_admin = nullptr;
   };
   static constexpr u64 kRawRegion = 4u << 20;
 
@@ -216,6 +269,15 @@ class KvServer {
   // pktstore chain adopts data into its own pool, so foreign buffers must
   // not reach put_pkts. No-op for requests that never crossed shards.
   Status normalize_pkts(ConnState& st);
+  // Serves /stats, /metrics and /trace/recent from merged snapshots.
+  // Returns true when the request was an admin target and a response
+  // (including the connection-state reset) was fully handled.
+  bool admin_dispatch(net::TcpConn& conn, ConnState& st);
+  // Appends the request's record to the shard's flight recorder (no-op
+  // without one). Runs before the ack path so the record's publication
+  // rides the same commit epoch that releases the ack.
+  void flight_record(ConnState& st, const storage::OpBreakdown* bd,
+                     u64 req, int status);
   void dispatch(net::TcpConn& conn, ConnState& st);
   // GET routing: the shard holding `key`, preferring `home` (the ingress
   // shard, where RSS puts all of the key's PUTs from this client).
@@ -235,6 +297,7 @@ class KvServer {
   std::unordered_map<net::TcpConn*, ConnState> conns_;
   u64 ops_ = 0;
   u64 errors_ = 0;
+  u64 admin_requests_ = 0;
   u64 next_req_ = 1;  // trace request ids (monotonic across shards)
   storage::OpBreakdown breakdown_sum_{};
   u64 breakdown_ops_ = 0;

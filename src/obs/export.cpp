@@ -1,0 +1,76 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+namespace papm::obs {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "papm_";
+  for (const char ch : name) {
+    out += std::isalnum(static_cast<unsigned char>(ch)) != 0 ? ch : '_';
+  }
+  return out;
+}
+
+std::string prometheus_text(const MetricRegistry& reg) {
+  std::string out;
+  reg.each_counter([&](const std::string& n, const Counter& c) {
+    const std::string p = prometheus_name(n);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(c.value()) + "\n";
+  });
+  reg.each_gauge([&](const std::string& n, const Gauge& g) {
+    const std::string p = prometheus_name(n);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + std::to_string(g.value()) + "\n";
+  });
+  reg.each_histogram([&](const std::string& n, const Histogram& h) {
+    const std::string p = prometheus_name(n);
+    out += "# TYPE " + p + " summary\n";
+    static constexpr struct {
+      double q;
+      const char* label;
+    } kQuantiles[] = {{0.5, "0.5"}, {0.99, "0.99"}, {0.999, "0.999"}};
+    for (const auto& [q, label] : kQuantiles) {
+      out += p + "{quantile=\"" + label +
+             "\"} " + std::to_string(h.quantile_upper(q)) + "\n";
+    }
+    out += p + "_sum " + std::to_string(h.sum()) + "\n";
+    out += p + "_count " + std::to_string(h.count()) + "\n";
+  });
+  return out;
+}
+
+std::string trace_recent_json(const TraceLog& log, std::size_t limit) {
+  std::vector<SpanEvent> evs = log.events();
+  std::sort(evs.begin(), evs.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              if (a.track != b.track) return a.track < b.track;
+              return static_cast<int>(a.stage) < static_cast<int>(b.stage);
+            });
+  if (evs.size() > limit) evs.erase(evs.begin(), evs.end() - limit);
+
+  std::string out =
+      "{\"dropped\": " + std::to_string(log.dropped()) + ", \"spans\": [";
+  char buf[192];
+  bool first = true;
+  for (const SpanEvent& e : evs) {
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"req\": %llu, \"track\": %u, \"stage\": \"%.*s\", "
+                  "\"ts_ns\": %lld, \"dur_ns\": %lld}",
+                  first ? "" : ", ", static_cast<unsigned long long>(e.req),
+                  e.track, static_cast<int>(to_string(e.stage).size()),
+                  to_string(e.stage).data(), static_cast<long long>(e.ts),
+                  static_cast<long long>(e.dur));
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace papm::obs

@@ -1,0 +1,34 @@
+// Admin-plane exporters: the wire formats the live endpoints serve.
+//
+// The server's admin endpoints (/stats, /metrics, /trace/recent — see
+// src/app/server.cpp) snapshot the shared-nothing registries with
+// merge_from() and hand the merged copy here; nothing in this file
+// touches hot-path state.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace papm::obs {
+
+// "pm.clwb" -> "papm_pm_clwb": the Prometheus-legal spelling of a
+// registry name (prefix "papm_", every non-alphanumeric byte -> '_').
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+// Prometheus text exposition (format 0.0.4) of a merged registry.
+// Counters and gauges export their value under prometheus_name();
+// histograms export as a summary: `{quantile="0.5|0.99|0.999"}` rows
+// carrying the nearest-rank bucket upper bounds, plus `_sum`/`_count`.
+[[nodiscard]] std::string prometheus_text(const MetricRegistry& reg);
+
+// The `limit` most recent spans of a merged trace log (sorted by start
+// timestamp), as {"dropped": N, "spans": [{req, track, stage, ts_ns,
+// dur_ns}...]}. `dropped` is the merged ring-overwrite total.
+[[nodiscard]] std::string trace_recent_json(const TraceLog& log,
+                                            std::size_t limit);
+
+}  // namespace papm::obs

@@ -10,6 +10,7 @@ double Attribution::server_sum_ns() const noexcept {
   double sum = 0;
   for (int i = 0; i < kStages; i++) {
     if (static_cast<Stage>(i) == Stage::rtt) continue;
+    if (static_cast<Stage>(i) == Stage::repl_apply) continue;
     sum += requests == 0 ? 0.0
                          : static_cast<double>(total_ns[i]) /
                                static_cast<double>(requests);
@@ -29,6 +30,28 @@ Attribution attribute(const TraceLog& log) {
   return a;
 }
 
+namespace {
+
+// Track -> Perfetto process/thread identity. Server shards share pid 1;
+// the client and each replica get their own process so a stitched trace
+// renders each host as its own track group.
+struct TrackIdentity {
+  u32 pid = 1;
+  std::string process;
+  std::string thread;
+};
+
+TrackIdentity track_identity(u32 t) {
+  if (t == kClientTrack) return {2, "papm-client", "client0"};
+  if (t >= kReplicaTrackBase) {
+    const u32 i = t - kReplicaTrackBase;
+    return {3 + i, "papm-replica" + std::to_string(i), "apply"};
+  }
+  return {1, "papm-server", "shard" + std::to_string(t)};
+}
+
+}  // namespace
+
 std::string chrome_trace_json(const TraceLog& log) {
   // Stable output: sort by (ts, track, stage) so identical runs export
   // byte-identical traces.
@@ -43,7 +66,6 @@ std::string chrome_trace_json(const TraceLog& log) {
   char buf[256];
   bool first = true;
 
-  // Thread-name metadata so Perfetto labels the tracks.
   std::vector<u32> tracks;
   for (const SpanEvent& e : evs) {
     if (std::find(tracks.begin(), tracks.end(), e.track) == tracks.end()) {
@@ -51,25 +73,42 @@ std::string chrome_trace_json(const TraceLog& log) {
     }
   }
   std::sort(tracks.begin(), tracks.end());
+
+  // Process-name metadata ("M" phase), one per distinct pid — without
+  // these Perfetto shows bare pid numbers for every track group.
+  std::vector<u32> pids;
   for (u32 t : tracks) {
+    const TrackIdentity id = track_identity(t);
+    if (std::find(pids.begin(), pids.end(), id.pid) != pids.end()) continue;
+    pids.push_back(id.pid);
     std::snprintf(buf, sizeof buf,
-                  "%s{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
-                  "\"tid\": %u, \"args\": {\"name\": \"%s%u\"}}",
-                  first ? "" : ", ", t, t == kClientTrack ? "client" : "shard",
-                  t == kClientTrack ? 0 : t);
+                  "%s{\"name\": \"process_name\", \"ph\": \"M\", "
+                  "\"pid\": %u, \"args\": {\"name\": \"%s\"}}",
+                  first ? "" : ", ", id.pid, id.process.c_str());
+    out += buf;
+    first = false;
+  }
+
+  // Thread-name metadata so Perfetto labels the tracks.
+  for (u32 t : tracks) {
+    const TrackIdentity id = track_identity(t);
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %u, "
+                  "\"tid\": %u, \"args\": {\"name\": \"%s\"}}",
+                  first ? "" : ", ", id.pid, t, id.thread.c_str());
     out += buf;
     first = false;
   }
 
   for (const SpanEvent& e : evs) {
     std::snprintf(buf, sizeof buf,
-                  "%s{\"name\": \"%.*s\", \"ph\": \"X\", \"pid\": 1, "
+                  "%s{\"name\": \"%.*s\", \"ph\": \"X\", \"pid\": %u, "
                   "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, "
                   "\"args\": {\"req\": %llu}}",
                   first ? "" : ", ",
                   static_cast<int>(to_string(e.stage).size()),
-                  to_string(e.stage).data(), e.track,
-                  static_cast<double>(e.ts) / 1000.0,
+                  to_string(e.stage).data(), track_identity(e.track).pid,
+                  e.track, static_cast<double>(e.ts) / 1000.0,
                   static_cast<double>(e.dur) / 1000.0,
                   static_cast<unsigned long long>(e.req));
     out += buf;

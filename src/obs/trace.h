@@ -39,9 +39,10 @@ enum class Stage : u8 {
   persist,
   repl,  // replication: forward to replicas -> remote-quorum durable
   tx,
-  rtt,  // client-side whole-request span (issue -> response parsed)
+  rtt,         // client-side whole-request span (issue -> response parsed)
+  repl_apply,  // replica-side apply of a forwarded mutation (replica track)
 };
-inline constexpr int kStages = 11;
+inline constexpr int kStages = 12;
 
 [[nodiscard]] constexpr std::string_view to_string(Stage s) noexcept {
   switch (s) {
@@ -56,6 +57,7 @@ inline constexpr int kStages = 11;
     case Stage::repl: return "repl";
     case Stage::tx: return "tx";
     case Stage::rtt: return "rtt";
+    case Stage::repl_apply: return "repl_apply";
   }
   return "?";
 }
@@ -71,17 +73,41 @@ struct SpanEvent {
 };
 
 inline constexpr u32 kClientTrack = 1000;
+// Replica i's apply spans land on track kReplicaTrackBase + i, which the
+// Chrome exporter maps to its own process so a stitched trace shows the
+// primary and each replica as separate tracks of one timeline.
+inline constexpr u32 kReplicaTrackBase = 2000;
 
-// Append-only span log. One per datapath shard; merge_from() at export
-// is associative (concatenation; exporters sort by timestamp).
+// Span log. One per datapath shard; merge_from() at export is
+// associative (concatenation; exporters sort by timestamp).
+//
+// Unbounded by default (the bench-exit exporters want every span).
+// set_capacity(n) turns it into a ring of the n most recent spans for
+// long-running serving: a full ring overwrites its oldest span and
+// counts the overwrite in dropped() (and in the `obs.trace_dropped`
+// counter when one is attached) — wraps are never silent.
 class TraceLog {
  public:
   void set_track(u32 t) noexcept { track_ = t; }
   [[nodiscard]] u32 track() const noexcept { return track_; }
 
+  // 0 (default) = unbounded append; n > 0 = keep the n most recent spans.
+  void set_capacity(std::size_t n) noexcept { capacity_ = n; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] u64 dropped() const noexcept { return dropped_; }
+  // Registry hook for ring overwrites (`obs.trace_dropped`); null-safe.
+  void set_dropped_counter(Counter* c) noexcept { dropped_counter_ = c; }
+
   void record(u64 req, Stage s, SimTime ts, SimTime dur) {
     if constexpr (kEnabled) {
-      events_.push_back({req, track_, s, ts, dur});
+      if (capacity_ != 0 && events_.size() >= capacity_) {
+        events_[next_] = {req, track_, s, ts, dur};
+        next_ = (next_ + 1) % capacity_;
+        dropped_++;
+        inc(dropped_counter_);
+      } else {
+        events_.push_back({req, track_, s, ts, dur});
+      }
     } else {
       (void)req;
       (void)s;
@@ -90,19 +116,31 @@ class TraceLog {
     }
   }
 
+  // Ring order is not chronological after a wrap; exporters sort by ts.
   [[nodiscard]] const std::vector<SpanEvent>& events() const noexcept {
     return events_;
   }
   [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
-  void clear() noexcept { events_.clear(); }
+  void clear() noexcept {
+    events_.clear();
+    next_ = 0;
+    dropped_ = 0;
+  }
 
+  // Plain concatenation regardless of this log's capacity — merge targets
+  // are the export-side scratch logs, which stay unbounded.
   void merge_from(const TraceLog& o) {
     events_.insert(events_.end(), o.events_.begin(), o.events_.end());
+    dropped_ += o.dropped_;
   }
 
  private:
   std::vector<SpanEvent> events_;
   u32 track_ = 0;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::size_t next_ = 0;      // ring overwrite cursor (capacity_ > 0)
+  u64 dropped_ = 0;
+  Counter* dropped_counter_ = nullptr;
 };
 
 // The request-scoped handle. Null-constructed contexts swallow all
@@ -177,7 +215,8 @@ struct Attribution {
                                static_cast<double>(requests);
   }
   // Sum of the per-request means over the server-side stages (everything
-  // except the client rtt track).
+  // except the client rtt track and the replica-side repl_apply spans —
+  // replica work overlaps the primary's repl wait, it is not residence).
   [[nodiscard]] double server_sum_ns() const noexcept;
 };
 
@@ -185,8 +224,11 @@ struct Attribution {
 
 // Chrome trace_events JSON (the object form: {"traceEvents": [...]}).
 // Every span becomes an "X" (complete) event; ts/dur are microseconds as
-// chrome://tracing and Perfetto expect; pid 1, tid = track, with thread
-// metadata naming server shards and the client track.
+// chrome://tracing and Perfetto expect. Tracks map to processes —
+// server shards under pid 1 ("papm-server"), the client track under
+// pid 2 ("papm-client"), replica tracks under pid 3+i ("papm-replica<i>")
+// — with process_name and thread_name "M" metadata events so Perfetto
+// labels every track instead of showing bare tids.
 [[nodiscard]] std::string chrome_trace_json(const TraceLog& log);
 
 }  // namespace papm::obs

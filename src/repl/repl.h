@@ -46,10 +46,14 @@ enum class MsgKind : u8 {
 
 enum class OpKind : u8 { put = 1, erase = 2 };
 
-// kData header: [kind u8][op u8][key_len u16][val_len u32][seq u64]
+// kData header:
+//   [kind u8][op u8][key_len u16][val_len u32][seq u64][trace u64]
 // then key bytes, then (for put) the value bytes — gathered zero-copy
-// from the primary's packet buffers.
-inline constexpr std::size_t kDataHdrLen = 16;
+// from the primary's packet buffers. `trace` is the primary's 64-bit
+// trace id for the client op that caused this mutation (0 = untraced);
+// the replica stamps its apply span with it so primary and replica
+// export into one stitched Perfetto trace (docs/OBSERVABILITY.md).
+inline constexpr std::size_t kDataHdrLen = 24;
 // kAck / kHeartbeat / kSnapBegin / kSnapEnd: [kind u8][pad 7][seq u64].
 inline constexpr std::size_t kCtlLen = 16;
 // kSnapItem header: [kind u8][pad u8][key_len u16][val_len u32] + key +
@@ -64,13 +68,14 @@ inline u32 get_u32(const u8* p) { u32 v; std::memcpy(&v, p, 4); return v; }
 inline u64 get_u64(const u8* p) { u64 v; std::memcpy(&v, p, 8); return v; }
 
 inline std::vector<u8> encode_data_hdr(OpKind op, std::string_view key,
-                                       u32 val_len, u64 seq) {
+                                       u32 val_len, u64 seq, u64 trace = 0) {
   std::vector<u8> h(kDataHdrLen + key.size());
   h[0] = static_cast<u8>(MsgKind::data);
   h[1] = static_cast<u8>(op);
   put_u16(h.data() + 2, static_cast<u16>(key.size()));
   put_u32(h.data() + 4, val_len);
   put_u64(h.data() + 8, seq);
+  put_u64(h.data() + 16, trace);
   std::memcpy(h.data() + kDataHdrLen, key.data(), key.size());
   return h;
 }

@@ -78,6 +78,7 @@ void ReplicaNode::wire_up(nic::Fabric& fabric) {
   m_applies_ = &metrics_.counter("repl.applies");
   m_acks_tx_ = &metrics_.counter("repl.acks_tx");
   m_resync_items_ = &metrics_.counter("repl.resync_items");
+  trace_.set_track(obs::kReplicaTrackBase + cfg_.index);
 }
 
 void ReplicaNode::kill() {
@@ -174,12 +175,13 @@ void ReplicaNode::apply_data(net::HomaDelivery& d) {
   {
     const u16 key_len = get_u16(hdr.data() + 2);
     const u32 val_len = get_u32(hdr.data() + 4);
+    const u64 trace_id = get_u64(hdr.data() + 16);
     const auto full = head_bytes(d, kDataHdrLen + key_len);
     const std::string key(reinterpret_cast<const char*>(full.data()) +
                               kDataHdrLen,
                           key_len);
     apply_one(d, static_cast<OpKind>(hdr[1]), key, kDataHdrLen + key_len,
-              val_len);
+              val_len, trace_id);
     free_delivery(d);
   }
   // Drain any buffered successors that are now contiguous.
@@ -190,11 +192,13 @@ void ReplicaNode::apply_data(net::HomaDelivery& d) {
     const auto h2 = head_bytes(next, kDataHdrLen);
     const u16 kl = get_u16(h2.data() + 2);
     const u32 vl = get_u32(h2.data() + 4);
+    const u64 tid2 = get_u64(h2.data() + 16);
     const auto f2 = head_bytes(next, kDataHdrLen + kl);
     const std::string k2(reinterpret_cast<const char*>(f2.data()) +
                              kDataHdrLen,
                          kl);
-    apply_one(next, static_cast<OpKind>(h2[1]), k2, kDataHdrLen + kl, vl);
+    apply_one(next, static_cast<OpKind>(h2[1]), k2, kDataHdrLen + kl, vl,
+              tid2);
     free_delivery(next);
     it = pending_.find(applied_seq_ + 1);
   }
@@ -202,8 +206,9 @@ void ReplicaNode::apply_data(net::HomaDelivery& d) {
 
 void ReplicaNode::apply_one(const net::HomaDelivery& d, OpKind op,
                             std::string_view key, std::size_t val_at,
-                            u32 val_len) {
+                            u32 val_len, u64 trace_id) {
   const u64 seq = applied_seq_ + 1;
+  const SimTime t_apply = env_.now();
   const bool batch = batcher_.has_value();
   if (batch) batcher_->begin_op(true, static_cast<u64>(env_.now()));
   store_->set_batched(batch && batcher_->batching());
@@ -234,6 +239,13 @@ void ReplicaNode::apply_one(const net::HomaDelivery& d, OpKind op,
   applied_seq_ = seq;
   applies_++;
   obs::inc(m_applies_);
+  if (obs::kEnabled && trace_id != 0) {
+    // Stamp the apply span with the primary's trace id: after the
+    // harness merges this log into the primary's, the span renders as a
+    // cross-track child of the same request in Perfetto.
+    trace_.record(trace_id, obs::Stage::repl_apply, t_apply,
+                  env_.now() - t_apply);
+  }
   publish_applied(seq);
   if (batch) {
     batcher_->end_op();

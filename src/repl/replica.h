@@ -24,6 +24,7 @@
 #include "net/homa.h"
 #include "net/udp.h"
 #include "nic/nic.h"
+#include "obs/trace.h"
 #include "pm/flush_batch.h"
 #include "repl/repl.h"
 
@@ -32,6 +33,8 @@ namespace papm::repl {
 struct ReplicaConfig {
   u32 ip = 0;
   u32 primary_ip = 0;
+  u32 index = 0;  // replica ordinal; trace spans land on track
+                  // obs::kReplicaTrackBase + index
   u64 pm_size = 64u << 20;
   ReplOptions opts;
   core::PktStoreOptions store_opts;
@@ -76,6 +79,11 @@ class ReplicaNode {
   [[nodiscard]] net::HomaEndpoint& homa() { return *homa_; }
   [[nodiscard]] nic::Nic& nic() { return *nic_; }
   [[nodiscard]] obs::MetricRegistry& metrics() noexcept { return metrics_; }
+  // Apply-path spans (Stage::repl_apply, one per traced mutation) on the
+  // replica's own track; the harness merges this into the primary's log
+  // so both hosts export as one stitched Perfetto trace.
+  [[nodiscard]] obs::TraceLog& trace() noexcept { return trace_; }
+  [[nodiscard]] const obs::TraceLog& trace() const noexcept { return trace_; }
 
   // Promotion: the node keeps serving its store; the group records the
   // choice. Nothing structural changes — reads go to store().
@@ -92,7 +100,7 @@ class ReplicaNode {
   void on_msg(net::HomaDelivery d);
   void apply_data(net::HomaDelivery& d);
   void apply_one(const net::HomaDelivery& d, OpKind op, std::string_view key,
-                 std::size_t val_at, u32 val_len);
+                 std::size_t val_at, u32 val_len, u64 trace_id);
   void publish_applied(u64 seq);
   void send_ack();
   void arm_epoch_drain();
@@ -130,6 +138,7 @@ class ReplicaNode {
   u64 applies_ = 0;
   u64 resync_items_ = 0;
   obs::MetricRegistry metrics_;
+  obs::TraceLog trace_;
   obs::Counter* m_applies_ = nullptr;
   obs::Counter* m_acks_tx_ = nullptr;
   obs::Counter* m_resync_items_ = nullptr;

@@ -83,10 +83,10 @@ Replicator::Replicator(sim::Env& env, net::UdpStack& udp, ReplOptions opts,
 
 u64 Replicator::submit_put(std::string_view key,
                            std::span<const GatherSeg> segs, u32 val_len,
-                           net::PktBufPool& pool, Done done) {
+                           net::PktBufPool& pool, Done done, u64 trace) {
   Rec r;
   r.seq = next_seq_++;
-  r.hdr = encode_data_hdr(OpKind::put, key, val_len, r.seq);
+  r.hdr = encode_data_hdr(OpKind::put, key, val_len, r.seq, trace);
   r.segs.assign(segs.begin(), segs.end());
   r.pool = &pool;
   r.done = std::move(done);
@@ -96,10 +96,10 @@ u64 Replicator::submit_put(std::string_view key,
   return submit(std::move(r));
 }
 
-u64 Replicator::submit_erase(std::string_view key, Done done) {
+u64 Replicator::submit_erase(std::string_view key, Done done, u64 trace) {
   Rec r;
   r.seq = next_seq_++;
-  r.hdr = encode_data_hdr(OpKind::erase, key, 0, r.seq);
+  r.hdr = encode_data_hdr(OpKind::erase, key, 0, r.seq, trace);
   r.done = std::move(done);
   return submit(std::move(r));
 }

@@ -42,9 +42,13 @@ class Replicator {
   // Forwards one PUT. `segs` are refcounted ranges over `pool`'s blocks
   // (see repl::gather_from_pkts); the Replicator takes its own reference
   // per range for the record's lifetime. Returns the record's seq.
+  // `trace` is the primary's trace id for the client op (0 = untraced);
+  // it travels in the kData header so the replica's apply span lands in
+  // the same stitched trace.
   u64 submit_put(std::string_view key, std::span<const GatherSeg> segs,
-                 u32 val_len, net::PktBufPool& pool, Done done);
-  u64 submit_erase(std::string_view key, Done done);
+                 u32 val_len, net::PktBufPool& pool, Done done,
+                 u64 trace = 0);
+  u64 submit_erase(std::string_view key, Done done, u64 trace = 0);
 
   // Periodic liveness beacons to the peers (kHeartbeat, high-water seq).
   void start_heartbeats();

@@ -45,6 +45,10 @@ struct CostModel {
   SimTime inet_csum_fixed_ns = 20;
   double copy_ns_per_byte = 1.10;     // memcpy into PM-backed buffer:
   SimTime copy_fixed_ns = 14;         //   1.14 us/KB                  [T1]
+  double dram_stream_ns_per_byte = 0.13;  // sequential DRAM assembly
+                                          //   (read+write at ~15 GB/s, per
+                                          //   the streaming note above) —
+                                          //   telemetry/admin body building
   SimTime request_prep_ns = 700;      // LevelDB WriteBatch-style request
                                       //   structure preparation       [T1]
   SimTime pktstore_prep_ns = 120;     // pktstore's residual request
@@ -128,6 +132,12 @@ struct CostModel {
   [[nodiscard]] SimTime copy_cost(std::size_t bytes) const noexcept {
     return copy_fixed_ns +
            static_cast<SimTime>(copy_ns_per_byte * static_cast<double>(bytes));
+  }
+  // Sequential DRAM string/body assembly (no PM write queue, no flush):
+  // what serving a /stats or /metrics snapshot costs the core.
+  [[nodiscard]] SimTime stream_cost(std::size_t bytes) const noexcept {
+    return static_cast<SimTime>(dram_stream_ns_per_byte *
+                                static_cast<double>(bytes));
   }
   [[nodiscard]] SimTime wire_cost(std::size_t bytes) const noexcept {
     return scaled(static_cast<SimTime>(wire_ns_per_byte * static_cast<double>(bytes)));

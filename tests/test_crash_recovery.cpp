@@ -31,6 +31,7 @@
 #include "core/pktstore.h"
 #include "crash_harness.h"
 #include "net/pktbuf.h"
+#include "obs/flightrec.h"
 #include "pm/fault_plan.h"
 #include "pm/flush_batch.h"
 #include "pm/pm_device.h"
@@ -674,6 +675,108 @@ class GroupCommitPktScenario final : public CrashScenario {
   GroupCommitLog log_;
 };
 
+// The PM flight recorder (obs/flightrec.h), swept through every
+// flush/fence boundary of a wrapping append workload under group-commit
+// epochs. The ring's contract against the ack stream:
+//
+//   * an acked record survives byte-exact until a wrap reclaims its slot
+//     (which takes `capacity` further appends — never mid-epoch, since
+//     capacity > max_epoch_ops);
+//   * recovery never surfaces a phantom (a seq that was never appended)
+//     or a torn body (the seq-bound CRC rejects both);
+//   * recovered seqs are distinct, and recovery is idempotent.
+class FlightRecorderScenario final : public CrashScenario {
+ public:
+  static constexpr u32 kCap = 4;  // small ring: the sweep crosses wraps
+  static std::size_t ops() { return crashtest::exhaustive() ? 14 : 10; }
+
+  // Deterministic body for seq: recovery can check every surviving slot
+  // byte-for-byte without carrying state across the cut.
+  static obs::FlightRecord record_of(u64 seq) {
+    obs::FlightRecord r;
+    r.req = 1000 + seq;
+    r.t0_ns = seq * 17;
+    for (std::size_t s = 0; s < obs::kStages; s++) {
+      r.stage_ns[s] = static_cast<u32>(seq * 100 + s);
+    }
+    r.result = 201;
+    r.op = 'P';
+    return r;
+  }
+
+  void format(pm::PmDevice& dev) override {
+    pool_.emplace(pm::PmPool::create(dev, "pool", dev.data_base(), 1u << 20));
+    auto fr = obs::FlightRecorder::create(dev, *pool_, 0, kCap);
+    ASSERT_TRUE(fr.ok());
+    fr_.emplace(std::move(fr.value()));
+    batcher_.emplace(dev, crash_test_policy());
+    batcher_->register_pool(*pool_);
+    fr_->set_batcher(&*batcher_);
+  }
+
+  void workload(pm::PmDevice&, AckLog&) override {
+    // The ack stream is the recorder's own: on_committed fires once the
+    // epoch that carried the record's publication is durably retired —
+    // the same boundary at which the server releases the client's ack.
+    for (std::size_t i = 0; i < ops(); i++) {
+      batcher_->begin_op(true, 0);
+      appends_started_++;
+      const u64 seq = fr_->append(record_of(appends_started_));
+      EXPECT_EQ(seq, appends_started_);
+      batcher_->on_committed([this, seq] { acked_.insert(seq); });
+      batcher_->end_op();
+    }
+    batcher_->deactivate();
+  }
+
+  void verify(pm::PmDevice& dev, const AckLog&) override {
+    auto rec = obs::FlightRecorder::recover(dev, 0);
+    ASSERT_TRUE(rec.ok()) << "I3: flight recorder recovery failed";
+    obs::FlightRecorder::ScanStats st;
+    const auto flights = rec.value().scan(&st);
+    EXPECT_LE(flights.size(), kCap);
+    std::set<u64> seen;
+    for (const auto& f : flights) {
+      EXPECT_TRUE(seen.insert(f.seq).second) << "duplicate seq " << f.seq;
+      ASSERT_LE(f.seq, appends_started_) << "phantom record " << f.seq;
+      const obs::FlightRecord want = record_of(f.seq);
+      EXPECT_EQ(f.rec.req, want.req) << "seq " << f.seq;
+      EXPECT_EQ(f.rec.t0_ns, want.t0_ns) << "seq " << f.seq;
+      EXPECT_EQ(std::memcmp(f.rec.stage_ns, want.stage_ns,
+                            sizeof want.stage_ns),
+                0)
+          << "I2: torn stage table for seq " << f.seq;
+      EXPECT_EQ(f.rec.result, want.result) << "seq " << f.seq;
+      EXPECT_EQ(f.rec.op, want.op) << "seq " << f.seq;
+    }
+    // AckLog reconciliation (I1): every acked record whose slot no later
+    // append could have reclaimed must be present.
+    for (const u64 k : acked_) {
+      if (k + kCap <= appends_started_) continue;  // slot reclaimed by wrap
+      EXPECT_TRUE(seen.contains(k)) << "I1: acked record " << k << " lost";
+    }
+    // The attached recorder resumes past every survivor.
+    EXPECT_EQ(rec.value().seq(), st.max_seq);
+    // I4: a re-crash right after recovery (scan is read-only) changes
+    // nothing.
+    dev.crash();
+    auto rec2 = obs::FlightRecorder::recover(dev, 0);
+    ASSERT_TRUE(rec2.ok()) << "I4: re-recovery failed";
+    const auto again = rec2.value().scan(nullptr);
+    ASSERT_EQ(again.size(), flights.size()) << "I4: state drifted";
+    for (std::size_t i = 0; i < again.size(); i++) {
+      EXPECT_EQ(again[i].seq, flights[i].seq);
+    }
+  }
+
+ private:
+  std::optional<pm::PmPool> pool_;
+  std::optional<obs::FlightRecorder> fr_;
+  std::optional<pm::FlushBatcher> batcher_;
+  u64 appends_started_ = 0;
+  std::set<u64> acked_;
+};
+
 // Two datapath shards, each with a private PmPool slice and skip list
 // (the PR-1 scale-out layout). Keys route by shard_of(); verification
 // recovers both shards, checks shard isolation, and checks the merged
@@ -824,6 +927,11 @@ TEST(CrashSweep, GroupCommitLsmEpochBoundaries) {
 TEST(CrashSweep, GroupCommitPktStoreEpochBoundaries) {
   run_all_plans(2u << 20,
                 [] { return std::make_unique<GroupCommitPktScenario>(); });
+}
+
+TEST(CrashSweep, FlightRecorder) {
+  run_all_plans(1u << 20,
+                [] { return std::make_unique<FlightRecorderScenario>(); });
 }
 
 // --- Satellite coverage ---------------------------------------------------

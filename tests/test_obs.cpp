@@ -10,12 +10,17 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <cstring>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pm/pm_device.h"
+#include "pm/pm_pool.h"
 #include "sim/env.h"
 
 namespace papm {
@@ -312,11 +317,20 @@ TEST(Trace, ChromeJsonRoundTripsThroughMinimalParser) {
     for (const auto& e : evs) EXPECT_EQ(e.ph, "M");  // no spans recorded
     return;
   }
-  // 2 metadata (thread names) + 4 "X" spans, sorted by timestamp.
+  // 4 metadata events (process_name + thread_name per distinct pid:
+  // papm-server and papm-client) + 4 "X" spans, sorted by timestamp.
   std::vector<MiniEvent> xs, ms;
   for (const auto& e : evs) (e.ph == "X" ? xs : ms).push_back(e);
-  ASSERT_EQ(ms.size(), 2u);
+  ASSERT_EQ(ms.size(), 4u);
   ASSERT_EQ(xs.size(), 4u);
+
+  // MiniParser reads the args object's "name" into cur.name, so for "M"
+  // events the extracted name is the label Perfetto will display.
+  EXPECT_EQ(ms[0].name, "papm-server");  // process_name, pid 1
+  EXPECT_EQ(ms[1].name, "papm-client");  // process_name, pid 2
+  EXPECT_EQ(ms[2].name, "shard0");       // thread_name, tid 0
+  EXPECT_EQ(ms[3].name, "client0");      // thread_name, tid kClientTrack
+  EXPECT_EQ(ms[3].tid, obs::kClientTrack);
 
   EXPECT_EQ(xs[0].name, "rtt");
   EXPECT_EQ(xs[0].tid, obs::kClientTrack);
@@ -330,6 +344,154 @@ TEST(Trace, ChromeJsonRoundTripsThroughMinimalParser) {
   EXPECT_EQ(xs[3].name, "rx");
   EXPECT_EQ(xs[3].req, 2u);
   EXPECT_DOUBLE_EQ(xs[3].dur, 0.321);
+}
+
+// ---------- TraceLog ring capacity & drop accounting ----------
+
+TEST(Trace, RingCapacityCountsDropsAndKeepsNewest) {
+  obs::TraceLog log;
+  log.set_track(3);
+  log.set_capacity(4);
+  obs::MetricRegistry reg;
+  obs::Counter* c = &reg.counter("obs.trace_dropped");
+  log.set_dropped_counter(c);
+  for (u64 i = 1; i <= 10; i++) log.record(i, obs::Stage::rx, i * 10, 1);
+  if (!obs::kEnabled) {
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.dropped(), 0u);
+    return;
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.dropped(), 6u);   // every overwrite counted — never silent
+  EXPECT_EQ(c->value(), 6u);      // and mirrored into the registry counter
+  std::set<u64> reqs;
+  for (const auto& e : log.events()) reqs.insert(e.req);
+  EXPECT_EQ(reqs, (std::set<u64>{7, 8, 9, 10}));  // newest survive
+
+  // merge_from carries the drop count into the export-side scratch log.
+  obs::TraceLog merged;
+  merged.merge_from(log);
+  EXPECT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged.dropped(), 6u);
+
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+  log.record(99, obs::Stage::tx, 0, 1);  // ring cursor reset with it
+  EXPECT_EQ(log.events()[0].req, 99u);
+}
+
+// ---------- FlightRecorder ----------
+
+obs::FlightRecord flight_of(u64 seq) {
+  obs::FlightRecord r;
+  r.req = 500 + seq;
+  r.t0_ns = seq * 7;
+  for (std::size_t s = 0; s < obs::kStages; s++) {
+    r.stage_ns[s] = static_cast<u32>(seq * 10 + s);
+  }
+  r.result = 200;
+  r.op = 'G';
+  return r;
+}
+
+TEST(FlightRecorder, AppendRecoverScanRoundTrip) {
+  sim::Env env;
+  pm::PmDevice dev(env, 1u << 20);
+  auto pool = pm::PmPool::create(dev, "p", dev.data_base(), 1u << 19);
+  auto made = obs::FlightRecorder::create(dev, pool, 0, 8);
+  ASSERT_TRUE(made.ok());
+  obs::FlightRecorder fr = std::move(made.value());
+  obs::MetricRegistry reg;
+  fr.set_metrics(&reg);
+  for (u64 i = 1; i <= 5; i++) EXPECT_EQ(fr.append(flight_of(i)), i);
+  EXPECT_EQ(fr.seq(), 5u);
+  EXPECT_EQ(fr.wraps(), 0u);
+  EXPECT_EQ(reg.counter("obs.flightrec_records").value(),
+            obs::kEnabled ? 5u : 0u);
+
+  dev.crash();
+  auto rec = obs::FlightRecorder::recover(dev, 0);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().seq(), 5u);  // resumes past the high-water mark
+  obs::FlightRecorder::ScanStats st;
+  const auto flights = rec.value().scan(&st);
+  ASSERT_EQ(flights.size(), 5u);
+  EXPECT_EQ(st.scanned, 8u);
+  EXPECT_EQ(st.valid, 5u);
+  EXPECT_EQ(st.invalid, 0u);
+  EXPECT_EQ(st.max_seq, 5u);
+  EXPECT_TRUE(st.contiguous);
+  for (u64 i = 0; i < 5; i++) {
+    EXPECT_EQ(flights[i].seq, i + 1);
+    const obs::FlightRecord want = flight_of(i + 1);
+    EXPECT_EQ(flights[i].rec.req, want.req);
+    EXPECT_EQ(flights[i].rec.t0_ns, want.t0_ns);
+    EXPECT_EQ(0, std::memcmp(flights[i].rec.stage_ns, want.stage_ns,
+                             sizeof want.stage_ns));
+    EXPECT_EQ(flights[i].rec.result, want.result);
+    EXPECT_EQ(flights[i].rec.op, want.op);
+  }
+  EXPECT_EQ(rec.value().append(flight_of(6)), 6u);
+}
+
+TEST(FlightRecorder, WrapKeepsNewestWindow) {
+  sim::Env env;
+  pm::PmDevice dev(env, 1u << 20);
+  auto pool = pm::PmPool::create(dev, "p", dev.data_base(), 1u << 19);
+  auto made = obs::FlightRecorder::create(dev, pool, 0, 4);
+  ASSERT_TRUE(made.ok());
+  obs::FlightRecorder fr = std::move(made.value());
+  obs::MetricRegistry reg;
+  fr.set_metrics(&reg);
+  for (u64 i = 1; i <= 10; i++) fr.append(flight_of(i));
+  EXPECT_EQ(fr.wraps(), 6u);
+  EXPECT_EQ(reg.counter("obs.flightrec_wraps").value(),
+            obs::kEnabled ? 6u : 0u);
+
+  obs::FlightRecorder::ScanStats st;
+  const auto flights = fr.scan(&st);
+  ASSERT_EQ(flights.size(), 4u);
+  EXPECT_TRUE(st.contiguous);
+  for (u64 i = 0; i < 4; i++) EXPECT_EQ(flights[i].seq, 7 + i);
+}
+
+TEST(FlightRecorder, CorruptedBodyIsRejectedNotResurrected) {
+  sim::Env env;
+  pm::PmDevice dev(env, 1u << 20);
+  auto pool = pm::PmPool::create(dev, "p", dev.data_base(), 1u << 19);
+  auto made = obs::FlightRecorder::create(dev, pool, 0, 4);
+  ASSERT_TRUE(made.ok());
+  obs::FlightRecorder fr = std::move(made.value());
+  for (u64 i = 1; i <= 3; i++) fr.append(flight_of(i));
+
+  // Smash 8 bytes of seq 2's body (slot index 1) behind the CRC's back.
+  const u64 body = fr.region() + obs::FlightRecorder::kHeaderLen +
+                   1 * obs::FlightRecorder::kSlotSize + 8;
+  dev.store_u64(body, 0xdeadbeefdeadbeefull);
+  dev.persist(body, 8);
+
+  obs::FlightRecorder::ScanStats st;
+  const auto flights = fr.scan(&st);
+  ASSERT_EQ(flights.size(), 2u);
+  EXPECT_EQ(st.valid, 2u);
+  EXPECT_EQ(st.invalid, 1u);      // the torn slot is counted, not returned
+  EXPECT_FALSE(st.contiguous);    // 1 and 3 survive, 2 is the hole
+  EXPECT_EQ(flights[0].seq, 1u);
+  EXPECT_EQ(flights[1].seq, 3u);
+
+  // The CRC binds body to seq: the same record under a different seq
+  // must not verify (the ring-reuse hazard).
+  const obs::FlightRecord r = flight_of(1);
+  EXPECT_NE(obs::FlightRecorder::record_crc(r, 1),
+            obs::FlightRecorder::record_crc(r, 2));
+}
+
+TEST(FlightRecorder, RecoverUnknownShardFails) {
+  sim::Env env;
+  pm::PmDevice dev(env, 1u << 20);
+  auto rec = obs::FlightRecorder::recover(dev, 9);
+  EXPECT_FALSE(rec.ok());
 }
 
 // ---------- PmDevice flush accounting ----------

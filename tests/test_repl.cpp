@@ -91,7 +91,7 @@ struct Primary {
   // — the unit-test analogue of repl::gather_from_pkts over a request's
   // TCP segments. The Replicator takes its own reference; ours drops.
   u64 submit_put(std::string_view key, std::span<const u8> val,
-                 Replicator::Done done) {
+                 Replicator::Done done, u64 trace = 0) {
     net::PktBuf* pb = pool.alloc(static_cast<u32>(val.size()));
     EXPECT_NE(pb, nullptr);
     auto w = pool.writable(*pb, static_cast<u32>(val.size()));
@@ -100,7 +100,7 @@ struct Primary {
     const Replicator::GatherSeg seg{pb->data_h, 0, pb->len, pb->cap};
     const u64 seq =
         repl.submit_put(key, {&seg, 1}, static_cast<u32>(val.size()), pool,
-                        std::move(done));
+                        std::move(done), trace);
     net::PktBufPool::release(pb);
     return seq;
   }
@@ -180,6 +180,46 @@ TEST(Repl, QuorumAckAccounting) {
     EXPECT_EQ(r1.store().get(key).value(), val) << key;
     EXPECT_EQ(r2.store().get(key).value(), val) << key;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-host trace stitching
+// ---------------------------------------------------------------------------
+
+TEST(Repl, TraceIdStitchesReplicaApplySpans) {
+  sim::Env env;
+  nic::Fabric fabric(env);
+  const ReplOptions opts = fast_opts(/*quorum=*/2);
+  ReplicaConfig rc = replica_cfg(kR1Ip, opts);
+  rc.index = 1;  // apply spans land on track kReplicaTrackBase + 1
+  ReplicaNode r1(env, fabric, rc);
+  Primary p(env, fabric, opts, {kR1Ip});
+
+  // A traced op: the primary's trace id rides the kData header and the
+  // replica's apply span is recorded under that id on its own track.
+  const u64 trace_id = 0xabc123;
+  bool done = false;
+  p.submit_put("t", rand_bytes(128, 11), [&](bool) { done = true; },
+               trace_id);
+  ASSERT_TRUE(pump_until(env, [&] { return done; }));
+
+  if (!obs::kEnabled) {
+    EXPECT_EQ(r1.trace().size(), 0u);
+    return;
+  }
+  ASSERT_EQ(r1.trace().size(), 1u);
+  const obs::SpanEvent& e = r1.trace().events()[0];
+  EXPECT_EQ(e.req, trace_id);
+  EXPECT_EQ(e.stage, obs::Stage::repl_apply);
+  EXPECT_EQ(e.track, obs::kReplicaTrackBase + 1);
+  EXPECT_GT(e.dur, 0u);  // the span covers the durable apply work
+
+  // An untraced op (trace id 0) records nothing on the replica.
+  bool done2 = false;
+  p.submit_put("u", rand_bytes(64, 12), [&](bool) { done2 = true; });
+  ASSERT_TRUE(pump_until(env, [&] { return done2; }));
+  EXPECT_EQ(r1.applies(), 2u);
+  EXPECT_EQ(r1.trace().size(), 1u);
 }
 
 // ---------------------------------------------------------------------------
